@@ -1,0 +1,38 @@
+"""Ablation: the rewiring budget RC (Section VI-C's cost/accuracy note).
+
+The paper observes that lowering RC cuts the rewiring time but also the
+reproducibility of the clustering targets.  This benchmark sweeps RC on a
+fixed walk and records the monotone trade-off.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_EVAL, BENCH_SCALE, write_result
+
+from repro.experiments.ablations import format_ablation, rc_sweep_ablation
+
+RC_VALUES = (2.0, 10.0, 50.0)
+
+
+def _run():
+    return rc_sweep_ablation(
+        dataset="anybeat",
+        fraction=0.10,
+        rc_values=RC_VALUES,
+        scale=BENCH_SCALE,
+        seed=10,
+        evaluation=BENCH_EVAL,
+    )
+
+
+def test_ablation_rc_sweep(benchmark, results_dir):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = format_ablation(rows, "rewiring budget (RC) sweep")
+    write_result("ablation_rc.txt", text)
+    print("\n" + text)
+
+    # more rewiring budget -> clustering distance to the target never worse
+    distances = [r.final_distance for r in rows]
+    assert distances == sorted(distances, reverse=True) or distances[-1] <= distances[0]
+    # and strictly more time spent
+    assert rows[-1].rewiring_seconds >= rows[0].rewiring_seconds

@@ -1,0 +1,41 @@
+"""Extension study: estimator error vs. crawl budget.
+
+Quantifies the mechanism behind Figure 3's downward trend — every local
+estimate sharpens as the walk grows, and restoration quality follows.
+Shape under test: the errors of all five estimators are (weakly) smaller
+at the largest budget than at the smallest.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_RUNS, BENCH_SCALE, write_result
+
+from repro.experiments.convergence import (
+    ESTIMATOR_COLUMNS,
+    estimator_convergence,
+    format_convergence,
+)
+
+FRACTIONS = (0.03, 0.10, 0.30)
+
+
+def _run():
+    return estimator_convergence(
+        dataset="anybeat",
+        fractions=FRACTIONS,
+        runs=max(BENCH_RUNS, 2),
+        scale=BENCH_SCALE,
+        seed=11,
+    )
+
+
+def test_estimator_convergence(benchmark, results_dir):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = format_convergence(points, title="estimator convergence (anybeat)")
+    write_result("convergence.txt", text)
+    print("\n" + text)
+    first, last = points[0], points[-1]
+    improved = sum(
+        1 for c in ESTIMATOR_COLUMNS if last.errors[c] <= first.errors[c] + 0.02
+    )
+    assert improved >= 4  # allow one noisy estimator at bench scale

@@ -1,0 +1,71 @@
+"""Microbenchmarks of the hot code paths.
+
+Not a paper table — these guard the implementation's performance envelope:
+rewiring throughput (the bottleneck the paper optimizes), estimator cost,
+stub-matching construction, and the evaluation suite itself.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_EVAL, BENCH_SCALE
+
+from repro.dk.rewiring import RewiringEngine
+from repro.estimators.local import estimate_local_properties
+from repro.graph.datasets import load_dataset
+from repro.metrics.clustering import degree_dependent_clustering
+from repro.metrics.suite import compute_properties
+from repro.restore.restorer import restore_from_walk
+from repro.sampling.access import GraphAccess
+from repro.sampling.walkers import random_walk
+
+
+def _graph():
+    return load_dataset("anybeat", scale=BENCH_SCALE)
+
+
+def test_bench_random_walk(benchmark):
+    graph = _graph()
+
+    def run():
+        return random_walk(GraphAccess(graph), graph.num_nodes // 10, rng=1)
+
+    walk = benchmark(run)
+    assert walk.length >= graph.num_nodes // 10
+
+
+def test_bench_estimators(benchmark):
+    graph = _graph()
+    walk = random_walk(GraphAccess(graph), graph.num_nodes // 10, rng=2)
+    est = benchmark(estimate_local_properties, walk)
+    assert est.num_nodes > 0
+
+
+def test_bench_rewiring_throughput(benchmark):
+    graph = _graph()
+    target = degree_dependent_clustering(graph)
+
+    def run():
+        g = graph.copy()
+        engine = RewiringEngine(g, target, rng=3)
+        # fixed 20k attempts regardless of candidate count
+        return engine.run(rc=10**9, max_attempts=20_000)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.attempts > 0
+
+
+def test_bench_full_restoration(benchmark):
+    graph = _graph()
+    walk = random_walk(GraphAccess(graph), graph.num_nodes // 10, rng=4)
+    result = benchmark.pedantic(
+        lambda: restore_from_walk(walk, rc=5, rng=4), rounds=1, iterations=1
+    )
+    assert result.graph.num_nodes > 0
+
+
+def test_bench_property_suite(benchmark):
+    graph = _graph()
+    props = benchmark.pedantic(
+        lambda: compute_properties(graph, BENCH_EVAL), rounds=1, iterations=1
+    )
+    assert props.num_nodes == graph.num_nodes

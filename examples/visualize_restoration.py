@@ -1,0 +1,34 @@
+"""Reproduce Figure 4: side-by-side graph portraits as SVG files.
+
+Renders the original Anybeat stand-in and the graphs produced by each of
+the six methods at a 10% crawl budget.  Open the SVGs in a browser and
+compare: subgraph sampling keeps the dense core but loses the low-degree
+periphery; Gjoka et al.'s output is an unstructured blob; the proposed
+method keeps both core and periphery because the sampled subgraph is
+embedded verbatim.
+
+Run:  python examples/visualize_restoration.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.figures import Figure4Settings, figure4_render
+
+
+def main(output_dir: str = "figures") -> None:
+    settings = Figure4Settings(dataset="anybeat", fraction=0.10, rc=50, seed=7)
+    paths = figure4_render(output_dir, settings)
+    print("wrote graph portraits:")
+    for path in paths:
+        print(f"  {path}")
+    print(
+        "\nwhat to look for: the 'proposed' portrait preserves the original's "
+        "core-plus-periphery silhouette; the subgraph-sampling portraits are "
+        "core-only; 'Gjoka et al.' loses the shape."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "figures")

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The sandboxed environment ships setuptools without the `wheel` package, so
+PEP 660 editable installs (`pip install -e .`) cannot build the editable
+wheel.  `python setup.py develop` provides the equivalent editable install;
+all metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,276 @@
+"""Command-line front end: ``python -m repro.cli <command>``.
+
+Commands map one-to-one onto the paper's tables and figures::
+
+    repro fig3    [--runs N] [--rc RC] [--scale S] [--datasets a,b,c]
+    repro table2  [--runs N] [--rc RC] [--scale S]
+    repro table3  [--runs N] [--rc RC] [--scale S]
+    repro table4  [--runs N] [--rc RC] [--scale S]
+    repro table5  [--runs N] [--rc RC] [--scale S]
+    repro fig4    [--out DIR] [--rc RC] [--scale S]
+    repro ablate  [--which rewiring|rc|subgraph] [--scale S]
+    repro datasets
+    repro profile <dataset> [--scale S]
+    repro restore <dataset> [--fraction F] [--rc RC] [--out PREFIX]
+
+Paper-scale settings (runs=10, rc=500, scale=1.0) reproduce the published
+protocol; the defaults here are the faster bench-scale settings recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import figures, tables
+from repro.experiments.ablations import (
+    format_ablation,
+    rc_sweep_ablation,
+    rewiring_exclusion_ablation,
+    subgraph_use_ablation,
+)
+from repro.graph.datasets import (
+    FIGURE3_DATASETS,
+    TABLE2_DATASETS,
+    TABLE34_DATASETS,
+    dataset_names,
+    dataset_spec,
+    load_dataset,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    handler = _HANDLERS[args.command]
+    print(handler(args))
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of 'Social Graph "
+        "Restoration via Random Walk Sampling' (ICDE 2022).",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--runs", type=int, default=3, help="runs per cell (paper: 10)")
+        p.add_argument("--rc", type=float, default=50.0, help="rewiring coefficient (paper: 500)")
+        p.add_argument("--scale", type=float, default=1.0, help="dataset stand-in scale")
+        p.add_argument("--seed", type=int, default=1, help="sweep master seed")
+
+    p_fig3 = sub.add_parser("fig3", help="Figure 3: average L1 vs %% queried")
+    common(p_fig3)
+    p_fig3.add_argument(
+        "--datasets", default=",".join(FIGURE3_DATASETS), help="comma-separated names"
+    )
+    p_fig3.add_argument(
+        "--fractions",
+        default="0.02,0.04,0.06,0.08,0.10",
+        help="comma-separated fractions (paper: 0.01..0.10)",
+    )
+
+    for name, help_text in (
+        ("table2", "Table II: per-property L1 at 10%% queried"),
+        ("table3", "Table III: avg +/- sd of the 12 L1 distances"),
+        ("table4", "Table IV: generation times"),
+        ("table5", "Table V: YouTube at 1%% queried"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        common(p)
+
+    p_fig4 = sub.add_parser("fig4", help="Figure 4: SVG graph portraits")
+    common(p_fig4)
+    p_fig4.add_argument("--out", default="figures", help="output directory")
+    p_fig4.add_argument("--dataset", default="anybeat")
+
+    p_abl = sub.add_parser("ablate", help="design-choice ablations")
+    common(p_abl)
+    p_abl.add_argument(
+        "--which",
+        choices=("rewiring", "rc", "subgraph", "all"),
+        default="all",
+    )
+    p_abl.add_argument("--dataset", default="anybeat")
+
+    sub.add_parser("datasets", help="list the dataset stand-ins")
+
+    p_conv = sub.add_parser(
+        "convergence", help="estimator error vs crawl budget (extension study)"
+    )
+    common(p_conv)
+    p_conv.add_argument("--dataset", default="anybeat")
+    p_conv.add_argument(
+        "--fractions", default="0.02,0.05,0.10,0.20,0.40", help="comma-separated"
+    )
+
+    p_prof = sub.add_parser("profile", help="structural profile of a dataset")
+    p_prof.add_argument("dataset")
+    p_prof.add_argument("--scale", type=float, default=1.0)
+
+    p_rest = sub.add_parser(
+        "restore", help="crawl a dataset, restore it, save graph + summary"
+    )
+    p_rest.add_argument("dataset")
+    p_rest.add_argument("--fraction", type=float, default=0.10)
+    p_rest.add_argument("--rc", type=float, default=50.0)
+    p_rest.add_argument("--scale", type=float, default=1.0)
+    p_rest.add_argument("--seed", type=int, default=1)
+    p_rest.add_argument("--out", default=None, help="output path prefix")
+    return parser
+
+
+def _settings(args) -> tables.TableSettings:
+    return tables.TableSettings(
+        runs=args.runs, rc=args.rc, scale=args.scale, seed=args.seed
+    )
+
+
+def _cmd_fig3(args) -> str:
+    fractions = tuple(float(f) for f in args.fractions.split(","))
+    datasets = tuple(args.datasets.split(","))
+    settings = figures.Figure3Settings(
+        fractions=fractions,
+        runs=args.runs,
+        rc=args.rc,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    series = figures.figure3_series(settings, datasets=datasets)
+    return figures.format_figure3(series, fractions)
+
+
+def _cmd_table2(args) -> str:
+    return tables.format_table2(tables.table2_rows(_settings(args), TABLE2_DATASETS))
+
+
+def _cmd_table3(args) -> str:
+    return tables.format_table3(tables.table3_rows(_settings(args), TABLE34_DATASETS))
+
+
+def _cmd_table4(args) -> str:
+    return tables.format_table4(tables.table4_rows(_settings(args), TABLE34_DATASETS))
+
+
+def _cmd_table5(args) -> str:
+    settings = tables.TableSettings(
+        runs=args.runs, rc=args.rc, scale=args.scale, seed=args.seed
+    )
+    return tables.format_table5(tables.table5_rows(settings))
+
+
+def _cmd_fig4(args) -> str:
+    settings = figures.Figure4Settings(
+        dataset=args.dataset, rc=args.rc, scale=args.scale, seed=args.seed
+    )
+    paths = figures.figure4_render(args.out, settings)
+    return "wrote:\n" + "\n".join(paths)
+
+
+def _cmd_ablate(args) -> str:
+    blocks: list[str] = []
+    if args.which in ("rewiring", "all"):
+        rows = rewiring_exclusion_ablation(
+            dataset=args.dataset, rc=args.rc, scale=args.scale, seed=args.seed
+        )
+        blocks.append(format_ablation(rows, "rewiring candidate exclusion"))
+    if args.which in ("rc", "all"):
+        rows = rc_sweep_ablation(dataset=args.dataset, scale=args.scale, seed=args.seed)
+        blocks.append(format_ablation(rows, "rewiring budget (RC) sweep"))
+    if args.which in ("subgraph", "all"):
+        rows = subgraph_use_ablation(
+            dataset=args.dataset, rc=args.rc, scale=args.scale, seed=args.seed
+        )
+        blocks.append(format_ablation(rows, "subgraph structure use"))
+    return "\n\n".join(blocks)
+
+
+def _cmd_datasets(args) -> str:
+    lines = ["name\tpaper n\tpaper m\tstand-in n\tstand-in m\tstand-in kbar"]
+    for name in dataset_names():
+        spec = dataset_spec(name)
+        g = load_dataset(name)
+        lines.append(
+            f"{name}\t{spec.paper_nodes}\t{spec.paper_edges}"
+            f"\t{g.num_nodes}\t{g.num_edges}\t{g.average_degree():.2f}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_convergence(args) -> str:
+    from repro.experiments.convergence import (
+        estimator_convergence,
+        format_convergence,
+    )
+
+    fractions = tuple(float(f) for f in args.fractions.split(","))
+    points = estimator_convergence(
+        dataset=args.dataset,
+        fractions=fractions,
+        runs=args.runs,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    return format_convergence(points, title=f"estimator convergence ({args.dataset})")
+
+
+def _cmd_profile(args) -> str:
+    from repro.metrics.profile import format_profile, graph_profile
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    return format_profile(graph_profile(graph), title=args.dataset)
+
+
+def _cmd_restore(args) -> str:
+    import json
+
+    from repro.graph.io import write_edge_list
+    from repro.metrics.profile import (
+        format_profile_comparison,
+        graph_profile,
+    )
+    from repro.restore.restorer import restore_graph
+    from repro.sampling.access import GraphAccess
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    access = GraphAccess(graph)
+    target = max(3, int(round(args.fraction * graph.num_nodes)))
+    result = restore_graph(access, target, rc=args.rc, rng=args.seed)
+
+    blocks = [
+        format_profile_comparison(graph_profile(graph), graph_profile(result.graph))
+    ]
+    if args.out:
+        edge_path = f"{args.out}.edges"
+        summary_path = f"{args.out}.json"
+        write_edge_list(result.graph, edge_path)
+        with open(summary_path, "w", encoding="utf-8") as f:
+            json.dump(result.summary(), f, indent=2)
+        blocks.append(f"\nwrote {edge_path} and {summary_path}")
+    return "\n".join(blocks)
+
+
+_HANDLERS = {
+    "fig3": _cmd_fig3,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+    "table5": _cmd_table5,
+    "fig4": _cmd_fig4,
+    "ablate": _cmd_ablate,
+    "datasets": _cmd_datasets,
+    "convergence": _cmd_convergence,
+    "profile": _cmd_profile,
+    "restore": _cmd_restore,
+}
+
+
+if __name__ == "__main__":
+    sys.exit(main())

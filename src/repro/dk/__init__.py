@@ -1,0 +1,58 @@
+"""dK-series substrate (Mahadevan et al. / Gjoka et al. / Stanton–Pinar).
+
+The dK-series fixes increasingly rich degree statistics of a target graph:
+0K fixes ``n`` and ``k̄``, 1K the degree vector ``{n(k)}``, 2K the joint
+degree matrix ``{m(k,k')}``, and 2.5K additionally steers the
+degree-dependent clustering ``{c̄(k)}`` by edge rewiring.
+
+This package provides the machinery shared by the paper's two generative
+methods: realizability checks for degree vectors and JDMs, stub-matching
+construction (from an empty graph *or* growing out of a sampled subgraph —
+the paper's Algorithm 5), the clustering-targeting rewiring engine
+(Algorithm 6), and the classic full-knowledge dK generators.
+"""
+
+from repro.dk.degree_vector import (
+    degree_vector_total,
+    degree_vector_degree_sum,
+    check_degree_vector,
+)
+from repro.dk.joint_degree_matrix import (
+    jdm_class_degree_sum,
+    jdm_total_edges,
+    check_joint_degree_matrix,
+    symmetrize,
+)
+from repro.dk.cleanup import (
+    CleanupReport,
+    count_defects,
+    simplify_preserving_jdm,
+)
+from repro.dk.construction import build_graph_from_targets
+from repro.dk.rewiring import RewiringEngine, RewiringReport
+from repro.dk.dk_series import (
+    generate_0k,
+    generate_1k,
+    generate_2k,
+    generate_25k,
+)
+
+__all__ = [
+    "degree_vector_total",
+    "degree_vector_degree_sum",
+    "check_degree_vector",
+    "jdm_class_degree_sum",
+    "jdm_total_edges",
+    "check_joint_degree_matrix",
+    "symmetrize",
+    "build_graph_from_targets",
+    "RewiringEngine",
+    "RewiringReport",
+    "CleanupReport",
+    "count_defects",
+    "simplify_preserving_jdm",
+    "generate_0k",
+    "generate_1k",
+    "generate_2k",
+    "generate_25k",
+]

@@ -1,0 +1,214 @@
+"""Stub-matching construction of a graph realizing target DV + JDM
+(the paper's Algorithm 5, in its general subgraph-growing form).
+
+Given a target degree vector ``{n*(k)}``, a target joint degree matrix
+``{m*(k,k')}``, and optionally a sampled subgraph ``G'`` with an assigned
+target degree per subgraph node, the builder:
+
+1. starts from a copy of ``G'`` (or an empty graph),
+2. adds ``sum_k n*(k) - |V'|`` fresh nodes and deals them the leftover
+   degree sequence (each ``k`` appearing ``n*(k) - n'(k)`` times, shuffled),
+3. attaches ``d*_i - d'_i`` half-edges to every node,
+4. for every class pair ``(k, k')`` joins ``m*(k,k') - m'(k,k')`` uniformly
+   random free half-edge pairs between the two classes.
+
+The half-edge budgets balance exactly when DV-1..3 / JDM-1..4 hold (the
+paper's realizability argument); any imbalance raises
+:class:`ConstructionError` rather than being silently absorbed.
+
+Stub matching can create parallel edges and self-loops — allowed by the
+paper's graph model.  A bounded number of resampling retries per edge keeps
+them rare without threatening termination.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConstructionError
+from repro.graph.multigraph import MultiGraph, Node
+from repro.sampling.subgraph import SampledSubgraph
+from repro.utils.rng import ensure_rng
+
+DegreePair = tuple[int, int]
+
+# Retries per stub pairing to dodge loops / parallels before accepting one.
+_COLLISION_RETRIES = 12
+
+
+def build_graph_from_targets(
+    dv: dict[int, int],
+    jdm: dict[DegreePair, int],
+    rng: random.Random | int | None = None,
+    subgraph: SampledSubgraph | None = None,
+    target_degrees: dict[Node, int] | None = None,
+) -> MultiGraph:
+    """Realize ``(dv, jdm)``, optionally growing out of ``subgraph``.
+
+    Parameters
+    ----------
+    dv, jdm:
+        Validated targets (see :mod:`repro.dk.degree_vector` /
+        :mod:`repro.dk.joint_degree_matrix`).  ``jdm`` must be symmetric.
+    rng:
+        Randomness for degree dealing and stub pairing.
+    subgraph:
+        When given, the output contains every node and edge of
+        ``subgraph.graph``; ``target_degrees`` must then assign a target
+        degree ``d*_i >= d'_i`` to every subgraph node.
+    """
+    r = ensure_rng(rng)
+    graph, assigned = _seed_graph(subgraph, target_degrees)
+    census = _class_census(assigned)
+    pair_census = _pair_census(graph, assigned) if subgraph is not None else {}
+
+    total_target = sum(dv.values())
+    n_existing = graph.num_nodes
+    if total_target < n_existing:
+        raise ConstructionError(
+            f"target node count {total_target} below subgraph size {n_existing}"
+        )
+
+    # -- deal leftover degrees to fresh nodes ---------------------------
+    leftover: list[int] = []
+    for k, want in dv.items():
+        have = census.get(k, 0)
+        if want < have:
+            raise ConstructionError(
+                f"(DV-3 violated) n*({k}) = {want} < subgraph census {have}"
+            )
+        leftover.extend([k] * (want - have))
+    if len(leftover) != total_target - n_existing:
+        raise ConstructionError(
+            "degree census mismatch: leftover degree deals "
+            f"{len(leftover)} nodes but {total_target - n_existing} are needed"
+        )
+    r.shuffle(leftover)
+    next_id = _fresh_id_start(graph)
+    for offset, k in enumerate(leftover):
+        node = next_id + offset
+        graph.add_node(node)
+        assigned[node] = k
+
+    # -- attach free half-edges per class -------------------------------
+    stubs: dict[int, list[Node]] = {}
+    for node, k_target in assigned.items():
+        existing = graph.degree(node) if subgraph is not None else 0
+        free = k_target - existing
+        if free < 0:
+            raise ConstructionError(
+                f"node {node!r}: target degree {k_target} below current {existing}"
+            )
+        if free:
+            stubs.setdefault(k_target, []).extend([node] * free)
+    for pool in stubs.values():
+        r.shuffle(pool)
+
+    # -- join class pairs ------------------------------------------------
+    for (k, kp), want in sorted(jdm.items()):
+        if kp < k:
+            continue  # symmetric JDM: handle each unordered pair once
+        need = want - pair_census.get((k, kp), 0)
+        if need < 0:
+            raise ConstructionError(
+                f"(JDM-4 violated) m*({k},{kp}) = {want} below subgraph "
+                f"census {pair_census[(k, kp)]}"
+            )
+        for _ in range(need):
+            _join_one(graph, stubs, k, kp, r)
+
+    dangling = {k: len(p) for k, p in stubs.items() if p}
+    if dangling:
+        raise ConstructionError(
+            f"half-edges left unmatched after construction: {dangling} "
+            "(DV/JDM were inconsistent)"
+        )
+    return graph
+
+
+def _seed_graph(
+    subgraph: SampledSubgraph | None, target_degrees: dict[Node, int] | None
+) -> tuple[MultiGraph, dict[Node, int]]:
+    """Copy of the seed graph plus the node -> target-degree assignment."""
+    if subgraph is None:
+        return MultiGraph(), {}
+    if target_degrees is None:
+        raise ConstructionError("target_degrees is required when growing a subgraph")
+    graph = subgraph.graph.copy()
+    assigned: dict[Node, int] = {}
+    for node in graph.nodes():
+        try:
+            assigned[node] = target_degrees[node]
+        except KeyError:
+            raise ConstructionError(
+                f"subgraph node {node!r} has no target degree"
+            ) from None
+    return graph, assigned
+
+
+def _class_census(assigned: dict[Node, int]) -> dict[int, int]:
+    """``n'(k)``: nodes per target-degree class in the seed graph."""
+    census: dict[int, int] = {}
+    for k in assigned.values():
+        census[k] = census.get(k, 0) + 1
+    return census
+
+
+def _pair_census(graph: MultiGraph, assigned: dict[Node, int]) -> dict[DegreePair, int]:
+    """``m'(k,k')``: seed edges per unordered target-class pair, stored with
+    ``k <= k'`` keys (each edge once)."""
+    census: dict[DegreePair, int] = {}
+    for u, v in graph.edges():
+        k, kp = assigned[u], assigned[v]
+        key = (k, kp) if k <= kp else (kp, k)
+        census[key] = census.get(key, 0) + 1
+    return census
+
+
+def _fresh_id_start(graph: MultiGraph) -> int:
+    """Smallest integer safely above every existing integer node id."""
+    top = -1
+    for u in graph.nodes():
+        if isinstance(u, int) and u > top:
+            top = u
+    return top + 1
+
+
+def _join_one(
+    graph: MultiGraph,
+    stubs: dict[int, list[Node]],
+    k: int,
+    kp: int,
+    rng: random.Random,
+) -> None:
+    """Connect one random free stub of class ``k`` to one of class ``kp``."""
+    pool_a = stubs.get(k)
+    pool_b = stubs.get(kp)
+    if not pool_a or not pool_b or (k == kp and len(pool_a) < 2):
+        raise ConstructionError(
+            f"stub pools exhausted while joining classes ({k}, {kp})"
+        )
+    for attempt in range(_COLLISION_RETRIES + 1):
+        if k == kp:
+            ia, ib = rng.sample(range(len(pool_a)), 2)
+        else:
+            ia = rng.randrange(len(pool_a))
+            ib = rng.randrange(len(pool_b))
+        u, v = pool_a[ia], pool_b[ib]
+        last_try = attempt == _COLLISION_RETRIES
+        if not last_try and (u == v or graph.has_edge(u, v)):
+            continue  # resample to dodge a loop / parallel edge
+        _pop_index(pool_a, ia)
+        if k == kp:
+            # the same pool shrank; re-locate v's entry if it moved
+            ib = ib if ib < len(pool_b) and pool_b[ib] == v else pool_b.index(v)
+        _pop_index(pool_b, ib)
+        graph.add_edge(u, v)
+        return
+    raise ConstructionError(f"could not join classes ({k}, {kp})")
+
+
+def _pop_index(pool: list, idx: int) -> None:
+    """O(1) unordered removal: swap with the last element and pop."""
+    pool[idx] = pool[-1]
+    pool.pop()

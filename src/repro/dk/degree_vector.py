@@ -1,0 +1,48 @@
+"""Degree vectors ``{n(k)}`` and their realizability conditions.
+
+A degree vector is stored sparsely as ``dict[int, int]`` mapping degree to
+node count (only ``k >= 1`` entries).  The paper's conditions for a vector
+to be realizable by some multigraph (Section IV-B):
+
+* (DV-1) every ``n(k)`` is a non-negative integer,
+* (DV-2) ``sum_k k n(k)`` is even (handshake),
+
+plus, when the generated graph must contain a sampled subgraph,
+
+* (DV-3) ``n(k) >= n'(k)`` for the subgraph's target-degree census.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RealizabilityError
+
+
+def degree_vector_total(dv: dict[int, int]) -> int:
+    """Total number of nodes, ``sum_k n(k)``."""
+    return sum(dv.values())
+
+
+def degree_vector_degree_sum(dv: dict[int, int]) -> int:
+    """Total degree, ``sum_k k n(k)`` (must be even for realizability)."""
+    return sum(k * c for k, c in dv.items())
+
+
+def check_degree_vector(
+    dv: dict[int, int],
+    subgraph_census: dict[int, int] | None = None,
+) -> None:
+    """Raise :class:`RealizabilityError` unless DV-1/DV-2 (and DV-3 when a
+    subgraph census is supplied) all hold."""
+    for k, c in dv.items():
+        if not isinstance(k, int) or k < 1:
+            raise RealizabilityError(f"degree classes must be ints >= 1, got {k!r}")
+        if not isinstance(c, int) or c < 0:
+            raise RealizabilityError(f"(DV-1) n({k}) must be a non-negative int, got {c!r}")
+    if degree_vector_degree_sum(dv) % 2 != 0:
+        raise RealizabilityError("(DV-2) sum of degrees is odd")
+    if subgraph_census is not None:
+        for k, need in subgraph_census.items():
+            if dv.get(k, 0) < need:
+                raise RealizabilityError(
+                    f"(DV-3) n({k}) = {dv.get(k, 0)} < subgraph census {need}"
+                )

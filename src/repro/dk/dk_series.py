@@ -1,0 +1,82 @@
+"""Classic full-knowledge dK-series generators (0K / 1K / 2K / 2.5K).
+
+These generate a random graph preserving the exact local statistics of a
+*fully observed* graph — the setting of Mahadevan et al. and Orsini et al.
+They double as reference implementations for the restoration pipeline
+(which must reproduce them when handed exact estimates and an empty
+subgraph) and as a user-facing API for null-model generation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dk.construction import build_graph_from_targets
+from repro.dk.rewiring import DEFAULT_REWIRING_COEFFICIENT, RewiringEngine
+from repro.errors import RealizabilityError
+from repro.graph.generators import configuration_model, gnm_random_graph
+from repro.graph.multigraph import MultiGraph
+from repro.metrics.basic import degree_vector, joint_degree_matrix
+from repro.metrics.clustering import degree_dependent_clustering
+from repro.utils.ints import near_int
+from repro.utils.rng import ensure_rng
+
+
+def generate_0k(
+    graph: MultiGraph, rng: random.Random | int | None = None
+) -> MultiGraph:
+    """0K-graph: random simple graph with the same ``n`` and ``k̄``."""
+    return gnm_random_graph(graph.num_nodes, graph.num_edges, rng=rng)
+
+
+def generate_1k(
+    graph: MultiGraph, rng: random.Random | int | None = None
+) -> MultiGraph:
+    """1K-graph: configuration-model graph with the same degree vector."""
+    r = ensure_rng(rng)
+    degrees: list[int] = []
+    for k, count in sorted(degree_vector(graph).items()):
+        degrees.extend([k] * count)
+    isolated = graph.num_nodes - len(degrees)
+    degrees.extend([0] * isolated)
+    if sum(degrees) % 2 != 0:
+        raise RealizabilityError("graph degree sum is odd (corrupt input graph)")
+    return configuration_model(degrees, rng=r)
+
+
+def generate_2k(
+    graph: MultiGraph, rng: random.Random | int | None = None
+) -> MultiGraph:
+    """2K-graph: stub-matched graph with the same joint degree matrix."""
+    dv = degree_vector(graph)
+    jdm = joint_degree_matrix(graph)
+    return build_graph_from_targets(dv, jdm, rng=rng)
+
+
+def generate_25k(
+    graph: MultiGraph,
+    rc: float = DEFAULT_REWIRING_COEFFICIENT,
+    rng: random.Random | int | None = None,
+) -> MultiGraph:
+    """2.5K-graph: 2K construction rewired toward the exact ``{c̄(k)}``.
+
+    The returned graph preserves ``{n(k)}`` and ``{m(k,k')}`` exactly and
+    approximates the degree-dependent clustering; ``rc`` controls the
+    rewiring budget exactly as in the restoration pipeline.
+    """
+    r = ensure_rng(rng)
+    generated = generate_2k(graph, rng=r)
+    target = degree_dependent_clustering(graph)
+    engine = RewiringEngine(generated, target, rng=r)
+    engine.run(rc=rc)
+    return generated
+
+
+def scalar_targets_from(graph: MultiGraph) -> tuple[int, float, int]:
+    """(n, k̄, m) of a graph with ``m`` recovered via ``near_int(n k̄ / 2)``.
+
+    Convenience for callers that carry 0K statistics around as scalars.
+    """
+    n = graph.num_nodes
+    kbar = graph.average_degree()
+    return n, kbar, near_int(n * kbar / 2.0)

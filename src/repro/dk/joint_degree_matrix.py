@@ -1,0 +1,104 @@
+"""Joint degree matrices ``{m(k,k')}`` and their realizability conditions.
+
+A JDM is stored sparsely and *symmetrically*: ``dict[(int, int), int]``
+carrying both ``(k, k')`` and ``(k', k)`` with equal values (diagonal cells
+once).  The paper's conditions against a target degree vector (Section
+IV-C):
+
+* (JDM-1) every ``m(k,k')`` is a non-negative integer,
+* (JDM-2) symmetry,
+* (JDM-3) ``sum_k' mu(k,k') m(k,k') = k n(k)`` for every class ``k``,
+
+plus, for subgraph containment,
+
+* (JDM-4) ``m(k,k') >= m'(k,k')`` for the subgraph's class-pair census.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RealizabilityError
+from repro.estimators.local import mu
+
+DegreePair = tuple[int, int]
+
+
+def symmetrize(jdm: dict[DegreePair, int]) -> dict[DegreePair, int]:
+    """Copy of ``jdm`` with the mirror cell of every entry filled in.
+
+    When both ``(k, k')`` and ``(k', k)`` are present with different values
+    a :class:`RealizabilityError` is raised (ambiguous input).
+    """
+    out: dict[DegreePair, int] = {}
+    for (k, kp), v in jdm.items():
+        mirror = (kp, k)
+        if mirror in jdm and jdm[mirror] != v:
+            raise RealizabilityError(
+                f"asymmetric JDM input: m{ (k, kp) } = {v} but m{mirror} = {jdm[mirror]}"
+            )
+        out[(k, kp)] = v
+        out[mirror] = v
+    return out
+
+
+def jdm_class_degree_sum(jdm: dict[DegreePair, int], k: int) -> int:
+    """``s(k) = sum_k' mu(k,k') m(k,k')`` — the degree mass of class ``k``."""
+    total = 0
+    for (a, b), v in jdm.items():
+        if a == k:
+            total += mu(a, b) * v
+    return total
+
+
+def jdm_all_class_sums(jdm: dict[DegreePair, int]) -> dict[int, int]:
+    """``{k: s(k)}`` over every class appearing in the JDM (one pass)."""
+    sums: dict[int, int] = {}
+    for (a, b), v in jdm.items():
+        sums[a] = sums.get(a, 0) + mu(a, b) * v
+    return sums
+
+
+def jdm_total_edges(jdm: dict[DegreePair, int]) -> int:
+    """Total edge count implied by a symmetric JDM.
+
+    Off-diagonal cells appear twice (mirrored), diagonal once, so the total
+    is ``sum_diag + sum_offdiag / 2``.
+    """
+    total2 = 0  # twice the edge count
+    for (a, b), v in jdm.items():
+        total2 += 2 * v if a == b else v
+    if total2 % 2 != 0:
+        raise RealizabilityError("JDM off-diagonal mass is asymmetric")
+    return total2 // 2
+
+
+def check_joint_degree_matrix(
+    jdm: dict[DegreePair, int],
+    dv: dict[int, int],
+    subgraph_census: dict[DegreePair, int] | None = None,
+) -> None:
+    """Raise :class:`RealizabilityError` unless JDM-1..JDM-3 (and JDM-4 when
+    a subgraph census is supplied) all hold against ``dv``."""
+    for (k, kp), v in jdm.items():
+        if not isinstance(v, int) or v < 0:
+            raise RealizabilityError(
+                f"(JDM-1) m({k},{kp}) must be a non-negative int, got {v!r}"
+            )
+        if jdm.get((kp, k)) != v:
+            raise RealizabilityError(
+                f"(JDM-2) m({k},{kp}) = {v} != m({kp},{k}) = {jdm.get((kp, k))!r}"
+            )
+    sums = jdm_all_class_sums(jdm)
+    classes = set(sums) | set(dv)
+    for k in classes:
+        want = k * dv.get(k, 0)
+        have = sums.get(k, 0)
+        if want != have:
+            raise RealizabilityError(
+                f"(JDM-3) class {k}: sum mu*m = {have} but k*n(k) = {want}"
+            )
+    if subgraph_census is not None:
+        for pair, need in subgraph_census.items():
+            if jdm.get(pair, 0) < need:
+                raise RealizabilityError(
+                    f"(JDM-4) m{pair} = {jdm.get(pair, 0)} < subgraph census {need}"
+                )

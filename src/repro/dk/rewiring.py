@@ -1,0 +1,360 @@
+"""Clustering-targeting edge rewiring (the paper's Algorithm 6).
+
+Repeatedly propose a double-edge swap between two candidate edges whose
+chosen endpoints have equal degree — ``(x, y), (a, b) -> (x, b), (a, y)``
+with ``deg(x) == deg(a)`` — and accept it iff the normalized L1 distance
+between the graph's degree-dependent clustering ``{c̄(k)}`` and the target
+``{c̄^(k)}`` strictly decreases.  Equal-degree swaps preserve every node's
+degree and the joint degree matrix, so the 2K targets realized by the
+construction phase survive rewiring untouched.
+
+Two engine features implement the proposed method's innovations over the
+Gjoka et al. procedure:
+
+* a *protected* edge set (the sampled subgraph's edges) excluded from the
+  candidate pool, so rewiring can never disturb the observed structure, and
+* incremental triangle bookkeeping — per-node triangle counts and per-class
+  sums are updated in O(k̄) per proposal instead of recounting, which is
+  what makes ``R = RC x |candidates|`` attempts tractable.
+
+The number of attempts is ``R = rc x |candidate edges|`` with ``rc = 500``
+in the paper (configurable; the benchmark harness documents its smaller
+values in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graph.multigraph import MultiGraph, Node
+from repro.metrics.clustering import triangles_per_node
+from repro.utils.rng import ensure_rng
+
+Edge = tuple[Node, Node]
+
+DEFAULT_REWIRING_COEFFICIENT = 500  # RC in the paper (Section V-E, Ref. [26])
+
+
+@dataclass(frozen=True)
+class RewiringReport:
+    """Outcome of one rewiring run."""
+
+    attempts: int
+    accepted: int
+    initial_distance: float
+    final_distance: float
+    num_candidates: int
+
+
+class RewiringEngine:
+    """Stateful rewiring over a graph with fixed degrees.
+
+    Parameters
+    ----------
+    graph:
+        Graph to rewire in place (degrees never change).
+    target_clustering:
+        ``{c̄^(k)}`` to approach (sparse; missing degrees mean target 0).
+    protected_edges:
+        Canonical ``(min, max)`` pairs never to be removed (the sampled
+        subgraph's edge set in the proposed method; empty for Gjoka et
+        al.).  One candidate copy per parallel multiplicity beyond the
+        protected copy remains rewireable.
+    forbid_loops / forbid_parallel:
+        Reject proposals that would create self-loops / parallel edges.
+        The paper's model permits both; rejecting them (default) matches
+        the reference implementation and keeps generated graphs close to
+        simple.
+    """
+
+    def __init__(
+        self,
+        graph: MultiGraph,
+        target_clustering: dict[int, float],
+        protected_edges: set[Edge] | None = None,
+        forbid_loops: bool = True,
+        forbid_parallel: bool = True,
+        rng: random.Random | int | None = None,
+    ) -> None:
+        self.graph = graph
+        self.target = dict(target_clustering)
+        self.forbid_loops = forbid_loops
+        self.forbid_parallel = forbid_parallel
+        self._rng = ensure_rng(rng)
+
+        self._degree: dict[Node, int] = graph.degrees()
+        self._class_size: dict[int, int] = {}
+        for k in self._degree.values():
+            self._class_size[k] = self._class_size.get(k, 0) + 1
+
+        self._tri: dict[Node, float] = triangles_per_node(graph)
+        self._class_tri: dict[int, float] = {}
+        for node, t in self._tri.items():
+            k = self._degree[node]
+            self._class_tri[k] = self._class_tri.get(k, 0.0) + t
+
+        self._norm = sum(self.target.values())
+        self._candidates: list[Edge] = self._initial_candidates(protected_edges or set())
+        self._distance = self._full_distance()
+
+    # ------------------------------------------------------------------
+    # public surface
+    # ------------------------------------------------------------------
+    @property
+    def distance(self) -> float:
+        """Current normalized L1 distance to the target clustering."""
+        return self._distance
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of rewireable edges."""
+        return len(self._candidates)
+
+    def run(
+        self,
+        rc: float = DEFAULT_REWIRING_COEFFICIENT,
+        max_attempts: int | None = None,
+        patience: int | None = None,
+    ) -> RewiringReport:
+        """Perform ``R = rc x |candidates|`` rewiring attempts.
+
+        ``max_attempts`` caps ``R`` when set.  ``patience`` enables early
+        stopping: when that many consecutive proposals are rejected, the
+        hill climb has effectively converged and the loop exits (a
+        practical speedup toward the paper's "scalable restoration" future
+        work; disabled by default for protocol fidelity).  Returns a
+        report; the graph is modified in place.
+        """
+        n_cand = len(self._candidates)
+        attempts = int(rc * n_cand)
+        if max_attempts is not None:
+            attempts = min(attempts, max_attempts)
+        initial = self._distance
+        accepted = 0
+        performed = 0
+        stagnant = 0
+        if n_cand >= 2 and self._norm > 0.0:
+            for _ in range(attempts):
+                performed += 1
+                if self._attempt():
+                    accepted += 1
+                    stagnant = 0
+                else:
+                    stagnant += 1
+                    if patience is not None and stagnant >= patience:
+                        break
+        return RewiringReport(
+            attempts=performed if patience is not None else attempts,
+            accepted=accepted,
+            initial_distance=initial,
+            final_distance=self._distance,
+            num_candidates=n_cand,
+        )
+
+    def clustering_by_degree(self) -> dict[int, float]:
+        """Current ``{c̄(k)}`` of the graph from the incremental state."""
+        out: dict[int, float] = {}
+        for k, size in self._class_size.items():
+            if k < 2:
+                out[k] = 0.0
+            else:
+                out[k] = 2.0 * self._class_tri.get(k, 0.0) / (size * k * (k - 1))
+        return out
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _initial_candidates(self, protected: set[Edge]) -> list[Edge]:
+        """Every edge copy except one protected copy per protected pair."""
+        remaining = dict.fromkeys(protected, 1)
+        out: list[Edge] = []
+        for u, v in self.graph.edges():
+            key = (u, v) if _leq(u, v) else (v, u)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                continue
+            out.append((u, v))
+        return out
+
+    def _full_distance(self) -> float:
+        """Normalized L1 distance computed from scratch (init / audits)."""
+        if self._norm <= 0.0:
+            return 0.0
+        current = self.clustering_by_degree()
+        keys = set(current) | set(self.target)
+        return sum(
+            abs(current.get(k, 0.0) - self.target.get(k, 0.0)) for k in keys
+        ) / self._norm
+
+    def _attempt(self) -> int:
+        """One proposal; returns 1 when accepted."""
+        rng = self._rng
+        cands = self._candidates
+        i1 = rng.randrange(len(cands))
+        e1 = cands[i1]
+        # orient e1: the chosen side's degree must be matched by e2's side
+        if rng.random() < 0.5:
+            x, y = e1
+        else:
+            y, x = e1
+        kx = self._degree[x]
+
+        i2 = rng.randrange(len(cands))
+        if i2 == i1:
+            return 0
+        e2 = cands[i2]
+        a, b = e2
+        if self._degree[a] == kx and self._degree[b] == kx:
+            if rng.random() < 0.5:
+                a, b = b, a
+        elif self._degree[b] == kx:
+            a, b = b, a
+        elif self._degree[a] != kx:
+            return 0  # no endpoint of e2 matches deg(x): not a valid swap
+
+        # proposal: remove (x, y), (a, b); add (x, b), (a, y)
+        if x == a:
+            return 0  # identity swap
+        if self.forbid_loops and (x == b or a == y):
+            return 0
+        if self.forbid_parallel and (
+            self.graph.multiplicity(x, b) > 0 or self.graph.multiplicity(a, y) > 0
+        ):
+            # adding (x,b) when (x,b) already exists would create a parallel
+            # edge; the check is conservative for the x==b/a==y loop cases,
+            # which the loop guard above already rejected
+            return 0
+
+        delta_tri = self._proposal_triangle_deltas(x, y, a, b)
+        new_distance = self._distance_after(delta_tri)
+        if new_distance >= self._distance:
+            return 0
+
+        # accept: mutate the graph, the bookkeeping, and the candidate list
+        self.graph.remove_edge(x, y)
+        self.graph.remove_edge(a, b)
+        self.graph.add_edge(x, b)
+        self.graph.add_edge(a, y)
+        for node, dt in delta_tri.items():
+            if dt:
+                self._tri[node] = self._tri.get(node, 0.0) + dt
+                k = self._degree[node]
+                self._class_tri[k] = self._class_tri.get(k, 0.0) + dt
+        self._distance = new_distance
+        cands[i1] = (x, b)
+        cands[i2] = (a, y)
+        return 1
+
+    def _proposal_triangle_deltas(
+        self, x: Node, y: Node, a: Node, b: Node
+    ) -> dict[Node, float]:
+        """Per-node triangle deltas of the swap, via a sequential overlay.
+
+        Edges are removed/added one at a time against the *current* overlaid
+        adjacency, which handles every multiplicity corner case (shared
+        endpoints, adjacent edge pairs) without recounting.
+        """
+        overlay: dict[Edge, int] = {}
+        delta: dict[Node, float] = {}
+        self._apply_edge_delta(x, y, -1, overlay, delta)
+        self._apply_edge_delta(a, b, -1, overlay, delta)
+        self._apply_edge_delta(x, b, +1, overlay, delta)
+        self._apply_edge_delta(a, y, +1, overlay, delta)
+        return delta
+
+    def _apply_edge_delta(
+        self,
+        u: Node,
+        v: Node,
+        sign: int,
+        overlay: dict[Edge, int],
+        delta: dict[Node, float],
+    ) -> None:
+        """Fold one edge insertion/removal into ``overlay`` and ``delta``.
+
+        Removing (adding) one copy of ``(u, v)`` destroys (creates)
+        ``sum_w A'_uw A'_vw`` triangles, where ``A'`` is the overlaid
+        adjacency *before* this operation (for removal the edge itself is
+        still present, which is correct: the triangles it closes are
+        counted through its other two sides).
+        """
+        if u == v:
+            # loops close no triangles under the paper's t_i definition
+            overlay[(u, u)] = overlay.get((u, u), 0) + 2 * sign
+            return
+        graph = self.graph
+        adj_u = graph.adjacency_view(u)
+        adj_v = graph.adjacency_view(v)
+        # iterate over the smaller neighborhood, plus overlay-only neighbors
+        if len(adj_u) > len(adj_v):
+            u, v = v, u
+            adj_u, adj_v = adj_v, adj_u
+        common = 0.0
+        for w, mult_uw in adj_u.items():
+            if w == u or w == v:
+                continue
+            a_uw = mult_uw + _overlay_get(overlay, u, w)
+            if a_uw <= 0:
+                continue
+            a_vw = adj_v.get(w, 0) + _overlay_get(overlay, v, w)
+            if a_vw <= 0:
+                continue
+            contrib = a_uw * a_vw
+            common += contrib
+            delta[w] = delta.get(w, 0.0) + sign * contrib
+        # overlay may add neighbors of u that the graph does not know yet
+        for (p, q), dm in overlay.items():
+            if dm <= 0:
+                continue
+            w = None
+            if p == u and q not in adj_u:
+                w = q
+            elif q == u and p not in adj_u:
+                w = p
+            if w is None or w in (u, v):
+                continue
+            a_vw = adj_v.get(w, 0) + _overlay_get(overlay, v, w)
+            if a_vw <= 0:
+                continue
+            contrib = dm * a_vw
+            common += contrib
+            delta[w] = delta.get(w, 0.0) + sign * contrib
+        delta[u] = delta.get(u, 0.0) + sign * common
+        delta[v] = delta.get(v, 0.0) + sign * common
+        key = (u, v) if _leq(u, v) else (v, u)
+        overlay[key] = overlay.get(key, 0) + sign
+
+    def _distance_after(self, delta_tri: dict[Node, float]) -> float:
+        """Distance if ``delta_tri`` were applied (only affected classes
+        re-evaluated)."""
+        class_delta: dict[int, float] = {}
+        for node, dt in delta_tri.items():
+            if dt:
+                k = self._degree[node]
+                class_delta[k] = class_delta.get(k, 0.0) + dt
+        if not class_delta:
+            return self._distance
+        dist = self._distance * self._norm
+        for k, dS in class_delta.items():
+            size = self._class_size[k]
+            if k < 2:
+                continue
+            denom = size * k * (k - 1)
+            old_c = 2.0 * self._class_tri.get(k, 0.0) / denom
+            new_c = 2.0 * (self._class_tri.get(k, 0.0) + dS) / denom
+            tgt = self.target.get(k, 0.0)
+            dist += abs(new_c - tgt) - abs(old_c - tgt)
+        return dist / self._norm
+
+
+def _overlay_get(overlay: dict[Edge, int], p: Node, q: Node) -> int:
+    key = (p, q) if _leq(p, q) else (q, p)
+    return overlay.get(key, 0)
+
+
+def _leq(a: Node, b: Node) -> bool:
+    """Total order on node ids (ints in practice; repr fallback otherwise)."""
+    if isinstance(a, int) and isinstance(b, int):
+        return a <= b
+    return repr(a) <= repr(b)

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid operations on a graph (missing node, bad edge...)."""
+
+
+class SamplingError(ReproError):
+    """Raised when a crawl cannot proceed (empty graph, isolated seed...)."""
+
+
+class EstimationError(ReproError):
+    """Raised when an estimator cannot produce a finite estimate."""
+
+
+class RealizabilityError(ReproError):
+    """Raised when a target degree vector / joint degree matrix cannot be
+    made to satisfy its realizability conditions within the iteration cap."""
+
+
+class ConstructionError(ReproError):
+    """Raised when stub matching cannot realize the requested targets."""
+
+
+class DatasetError(ReproError):
+    """Raised for unknown dataset names or invalid dataset parameters."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for invalid configurations."""

@@ -1,0 +1,50 @@
+"""Re-weighted random-walk estimators of local structural properties.
+
+Section III-E of the paper: given the sampling list ``L`` of a simple
+random walk, estimate the number of nodes (collision estimator of Katzir
+et al. / Hardiman–Katzir), the average degree (Gjoka et al.), the degree
+distribution, the joint degree distribution (hybrid induced-edges /
+traversed-edges estimator of Gjoka et al., proved unbiased in the paper's
+Appendix A), and the degree-dependent clustering coefficient
+(Hardiman–Katzir).
+
+:func:`estimate_local_properties` bundles the five into the
+:class:`LocalEstimates` record consumed by the restoration pipeline.
+"""
+
+from repro.estimators.walk_index import WalkIndex
+from repro.estimators.node_count import estimate_num_nodes
+from repro.estimators.average_degree import estimate_average_degree
+from repro.estimators.degree_distribution import estimate_degree_distribution
+from repro.estimators.joint_degree import (
+    estimate_joint_degree_distribution,
+    induced_edges_estimate,
+    traversed_edges_estimate,
+)
+from repro.estimators.clustering import estimate_degree_clustering
+from repro.estimators.local import LocalEstimates, estimate_local_properties
+from repro.estimators.extras import (
+    BatchEstimate,
+    batch_means,
+    estimate_global_clustering,
+    estimate_num_edges,
+    estimate_triangle_count,
+)
+
+__all__ = [
+    "BatchEstimate",
+    "batch_means",
+    "estimate_global_clustering",
+    "estimate_num_edges",
+    "estimate_triangle_count",
+    "WalkIndex",
+    "estimate_num_nodes",
+    "estimate_average_degree",
+    "estimate_degree_distribution",
+    "estimate_joint_degree_distribution",
+    "induced_edges_estimate",
+    "traversed_edges_estimate",
+    "estimate_degree_clustering",
+    "LocalEstimates",
+    "estimate_local_properties",
+]

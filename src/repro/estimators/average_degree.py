@@ -1,0 +1,24 @@
+"""Average-degree estimator.
+
+``k̄^ = 1 / Φ̄`` with ``Φ̄ = (1/r) sum_i 1/d(x_i)`` — the harmonic-mean
+re-weighting of Gjoka et al. / Dasgupta et al. (Section III-E).  The walk
+visits nodes proportionally to degree, so the inverse-degree average is an
+unbiased estimate of ``1/k̄`` under the stationary distribution.
+"""
+
+from __future__ import annotations
+
+from repro.estimators.walk_index import WalkIndex
+from repro.sampling.walkers import SamplingList
+
+
+def mean_inverse_degree(walk: SamplingList | WalkIndex) -> float:
+    """``Φ̄ = (1/r) sum_i 1/d(x_i)`` (shared by several estimators)."""
+    index = walk if isinstance(walk, WalkIndex) else WalkIndex(walk)
+    degrees = index.degrees
+    return sum(1.0 / d for d in degrees) / len(degrees)
+
+
+def estimate_average_degree(walk: SamplingList | WalkIndex) -> float:
+    """Estimate the average degree ``k̄`` of the hidden graph."""
+    return 1.0 / mean_inverse_degree(walk)

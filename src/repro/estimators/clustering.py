@@ -1,0 +1,44 @@
+"""Degree-dependent clustering-coefficient estimator (Hardiman–Katzir).
+
+``c̄^(k) = Φ_c(k) / Φ(k)`` with
+``Φ_c(k) = (1/((k-1)(r-2))) sum_{i=2}^{r-1} 1{d(x_i)=k} A[x_{i-1}, x_{i+1}]``
+(Section III-E).  The walk's consecutive triple ``x_{i-1}, x_i, x_{i+1}``
+closes a triangle exactly when the outer pair is adjacent; re-weighting by
+degree yields the per-degree clustering coefficient.
+"""
+
+from __future__ import annotations
+
+from repro.estimators.degree_distribution import degree_visit_weights
+from repro.estimators.walk_index import WalkIndex
+from repro.sampling.walkers import SamplingList
+
+
+def estimate_degree_clustering(
+    walk: SamplingList | WalkIndex,
+) -> dict[int, float]:
+    """Estimate ``{c̄(k)}`` as a sparse ``degree -> coefficient`` mapping.
+
+    Degrees observed in the walk map to their estimates (``c̄^(1) = 0`` by
+    definition); unobserved degrees are absent.
+    """
+    index = walk if isinstance(walk, WalkIndex) else WalkIndex(walk)
+    nodes = index.walk.nodes
+    degrees = index.degrees
+    r = index.r
+    closed_weight: dict[int, float] = {}
+    for i in range(1, r - 1):
+        k = degrees[i]
+        if k < 2:
+            continue
+        if index.adjacent(nodes[i - 1], nodes[i + 1]):
+            closed_weight[k] = closed_weight.get(k, 0.0) + 1.0
+    phi = degree_visit_weights(index)
+    estimate: dict[int, float] = {}
+    for k in phi:
+        if k < 2:
+            estimate[k] = 0.0
+            continue
+        phi_c = closed_weight.get(k, 0.0) / ((k - 1) * (r - 2))
+        estimate[k] = min(1.0, phi_c / phi[k]) if phi[k] > 0 else 0.0
+    return estimate

@@ -1,0 +1,37 @@
+"""Degree-distribution estimator.
+
+``P^(k) = Φ(k) / Φ̄`` with ``Φ(k) = (1/(k r)) sum_i 1{d(x_i) = k}``
+(Gjoka et al. / Ribeiro–Towsley, Section III-E).  Each visit is
+down-weighted by its node's degree to undo the walk's degree bias; the
+resulting estimate sums to exactly 1 over the observed degrees.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.estimators.average_degree import mean_inverse_degree
+from repro.estimators.walk_index import WalkIndex
+from repro.sampling.walkers import SamplingList
+
+
+def degree_visit_weights(walk: SamplingList | WalkIndex) -> dict[int, float]:
+    """``Φ(k)`` for every degree observed in the walk."""
+    index = walk if isinstance(walk, WalkIndex) else WalkIndex(walk)
+    counts = Counter(index.degrees)
+    r = index.r
+    return {k: c / (k * r) for k, c in counts.items()}
+
+
+def estimate_degree_distribution(
+    walk: SamplingList | WalkIndex,
+) -> dict[int, float]:
+    """Estimate ``{P(k)}`` as a sparse ``degree -> probability`` mapping.
+
+    Only degrees actually observed in the walk appear (a positive estimate
+    certifies at least one such node exists in ``G``, which the target
+    degree vector construction relies on).  The values sum to 1.
+    """
+    index = walk if isinstance(walk, WalkIndex) else WalkIndex(walk)
+    phi_bar = mean_inverse_degree(index)
+    return {k: phi / phi_bar for k, phi in degree_visit_weights(index).items()}

@@ -1,0 +1,123 @@
+"""Additional re-weighted estimators and uncertainty quantification.
+
+Beyond the five estimates the restoration pipeline consumes, the paper's
+related-work line of research provides further walk-based estimators that
+round out the library surface:
+
+* :func:`estimate_num_edges` — ``m^ = n^ k̄^ / 2`` (handshake),
+* :func:`estimate_global_clustering` — the Hardiman–Katzir global
+  clustering coefficient from consecutive triples,
+* :func:`estimate_triangle_count` — implied total triangle count,
+* :func:`batch_means` — batch-means standard errors for *any* walk
+  functional, the standard uncertainty device for Markov-chain samples
+  (consecutive walk positions are correlated, so naive iid standard errors
+  are invalid; batching restores approximate independence).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.errors import EstimationError
+from repro.estimators.average_degree import estimate_average_degree
+from repro.estimators.clustering import estimate_degree_clustering
+from repro.estimators.degree_distribution import estimate_degree_distribution
+from repro.estimators.node_count import estimate_num_nodes
+from repro.estimators.walk_index import WalkIndex
+from repro.sampling.walkers import SamplingList
+
+
+def estimate_num_edges(walk: SamplingList | WalkIndex) -> float:
+    """``m^ = n^ k̄^ / 2`` — implied edge count of the hidden graph."""
+    index = walk if isinstance(walk, WalkIndex) else WalkIndex(walk)
+    return estimate_num_nodes(index) * estimate_average_degree(index) / 2.0
+
+
+def estimate_global_clustering(walk: SamplingList | WalkIndex) -> float:
+    """Global (mean-local) clustering coefficient ``c̄`` of the hidden graph.
+
+    Combines the degree-dependent estimate with the degree distribution:
+    ``c̄^ = sum_k P^(k) c̄^(k)`` — the mixture the paper's property (5)
+    takes over nodes.
+    """
+    index = walk if isinstance(walk, WalkIndex) else WalkIndex(walk)
+    pk = estimate_degree_distribution(index)
+    ck = estimate_degree_clustering(index)
+    return sum(p * ck.get(k, 0.0) for k, p in pk.items())
+
+
+def estimate_triangle_count(walk: SamplingList | WalkIndex) -> float:
+    """Implied number of triangles in the hidden graph.
+
+    ``T^ = (1/3) sum_k n^(k) c̄^(k) C(k, 2)`` — each degree class
+    contributes its node count times the expected closed wedges per node;
+    dividing by 3 de-duplicates the per-corner counting.
+    """
+    index = walk if isinstance(walk, WalkIndex) else WalkIndex(walk)
+    n_hat = estimate_num_nodes(index)
+    pk = estimate_degree_distribution(index)
+    ck = estimate_degree_clustering(index)
+    total = 0.0
+    for k, p in pk.items():
+        if k >= 2:
+            total += n_hat * p * ck.get(k, 0.0) * k * (k - 1) / 2.0
+    return total / 3.0
+
+
+@dataclass(frozen=True)
+class BatchEstimate:
+    """A point estimate with a batch-means standard error."""
+
+    value: float
+    standard_error: float
+    num_batches: int
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI (default 95%)."""
+        half = z * self.standard_error
+        return (self.value - half, self.value + half)
+
+
+def batch_means(
+    walk: SamplingList,
+    estimator: Callable[[SamplingList], float],
+    num_batches: int = 10,
+) -> BatchEstimate:
+    """Batch-means estimate of ``estimator`` over ``walk``.
+
+    The walk is split into ``num_batches`` contiguous segments, the
+    estimator is applied to each, and the spread of the per-batch values
+    yields a standard error for the full-walk point estimate.  Segments
+    inherit the walk's recorded adjacency, so any estimator in this package
+    can be passed directly::
+
+        est = batch_means(walk, estimate_average_degree, num_batches=8)
+        lo, hi = est.confidence_interval()
+
+    Batches shorter than 3 samples cannot feed the estimators; the walk
+    must satisfy ``length >= 3 * num_batches``.
+    """
+    if num_batches < 2:
+        raise EstimationError("batch_means needs at least 2 batches")
+    r = walk.length
+    if r < 3 * num_batches:
+        raise EstimationError(
+            f"walk of length {r} too short for {num_batches} batches "
+            "(need >= 3 samples per batch)"
+        )
+    size = r // num_batches
+    values: list[float] = []
+    for b in range(num_batches):
+        start = b * size
+        stop = r if b == num_batches - 1 else start + size
+        segment = SamplingList()
+        for node in walk.nodes[start:stop]:
+            segment.record(node, walk.neighbors[node])
+        values.append(float(estimator(segment)))
+    point = float(estimator(walk))
+    mean_b = sum(values) / num_batches
+    var_b = sum((v - mean_b) ** 2 for v in values) / (num_batches - 1)
+    stderr = math.sqrt(var_b / num_batches)
+    return BatchEstimate(value=point, standard_error=stderr, num_batches=num_batches)

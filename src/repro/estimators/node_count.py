@@ -1,0 +1,66 @@
+"""Collision-based estimator of the number of nodes.
+
+``n^ = (sum over far pairs of d_xi / d_xj) / (number of far collisions)``
+(Katzir et al. / Hardiman–Katzir, Section III-E of the paper), where "far"
+means walk positions at least ``M = 0.025 r`` apart.
+
+Both sums are computed in O(r) / O(r log r): the ratio sum via prefix sums
+of ``1/d`` over the sliding near-band, the collision count via two-pointer
+sweeps over per-node position lists.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EstimationError
+from repro.estimators.walk_index import WalkIndex
+from repro.sampling.walkers import SamplingList
+
+
+def estimate_num_nodes(
+    walk: SamplingList | WalkIndex,
+    zero_collision_fallback: bool = True,
+) -> float:
+    """Estimate ``n`` from a walk.
+
+    Parameters
+    ----------
+    walk:
+        A sampling list, or a pre-built :class:`WalkIndex` (pass the index
+        when calling several estimators on the same walk).
+    zero_collision_fallback:
+        Short walks on large graphs may observe no far collisions, making
+        the estimator undefined.  With the fallback enabled (default) the
+        collision count is floored at 1, yielding a deliberately
+        conservative over-estimate; disabled, an
+        :class:`~repro.errors.EstimationError` is raised instead.
+    """
+    index = walk if isinstance(walk, WalkIndex) else WalkIndex(walk)
+    numerator = _far_degree_ratio_sum(index)
+    collisions = index.far_collision_pairs()
+    if collisions == 0:
+        if not zero_collision_fallback:
+            raise EstimationError(
+                "no node collisions at distance >= M in the walk; "
+                "the walk is too short to estimate n"
+            )
+        collisions = 1
+    return numerator / collisions
+
+
+def _far_degree_ratio_sum(index: WalkIndex) -> float:
+    """``sum_{(i,j): |i-j| >= M} d_xi / d_xj`` in O(r) via prefix sums."""
+    degrees = index.degrees
+    r = index.r
+    m = index.gap
+    inv = [1.0 / d for d in degrees]
+    prefix_inv = [0.0] * (r + 1)
+    for i, v in enumerate(inv):
+        prefix_inv[i + 1] = prefix_inv[i] + v
+    total_inv = prefix_inv[r]
+    full = 0.0
+    for i, d in enumerate(degrees):
+        lo = max(0, i - (m - 1))
+        hi = min(r - 1, i + (m - 1))
+        near_inv = prefix_inv[hi + 1] - prefix_inv[lo]
+        full += d * (total_inv - near_inv)
+    return full

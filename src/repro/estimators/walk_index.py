@@ -1,0 +1,127 @@
+"""Shared index structures over a sampling list.
+
+Several estimators need the same derived views of the walk — the aligned
+degree sequence, per-node visit positions, neighbor sets for adjacency
+tests, and the collision threshold ``M = 0.025 r`` — so they are computed
+once in a :class:`WalkIndex` and shared.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.errors import EstimationError
+from repro.graph.multigraph import Node
+from repro.sampling.walkers import SamplingList
+
+# Fraction of the walk length used as the minimum index separation for the
+# "independent pair" sets of the collision / induced-edge estimators
+# (Hardiman & Katzir's convention, adopted by the paper).
+INDEX_GAP_FRACTION = 0.025
+
+
+class WalkIndex:
+    """Derived views over one walk, built lazily and memoized."""
+
+    def __init__(self, walk: SamplingList, gap_fraction: float = INDEX_GAP_FRACTION):
+        if walk.length < 3:
+            raise EstimationError(
+                f"walk of length {walk.length} is too short to estimate from"
+            )
+        if not 0.0 <= gap_fraction < 1.0:
+            raise EstimationError(f"gap fraction must be in [0, 1), got {gap_fraction}")
+        self.walk = walk
+        self.gap_fraction = gap_fraction
+
+    @property
+    def r(self) -> int:
+        """Walk length."""
+        return self.walk.length
+
+    @cached_property
+    def gap(self) -> int:
+        """The threshold ``M``: pairs of walk positions at least ``M`` apart
+        are treated as independently sampled (at least 1)."""
+        return max(1, int(self.gap_fraction * self.r))
+
+    @cached_property
+    def degrees(self) -> list[int]:
+        """``d(x_1) .. d(x_r)`` aligned with the walk."""
+        return self.walk.degree_sequence()
+
+    @cached_property
+    def positions(self) -> dict[Node, list[int]]:
+        """0-based visit positions of each distinct node, ascending."""
+        pos: dict[Node, list[int]] = {}
+        for i, node in enumerate(self.walk.nodes):
+            pos.setdefault(node, []).append(i)
+        return pos
+
+    @cached_property
+    def neighbor_sets(self) -> dict[Node, set[Node]]:
+        """Distinct-neighbor sets of every visited node (adjacency tests)."""
+        return {u: set(nbrs) for u, nbrs in self.walk.neighbors.items()}
+
+    @cached_property
+    def num_far_pairs(self) -> int:
+        """``|I|``: ordered position pairs ``(i, j)`` with ``|i - j| >= M``.
+
+        Closed form: from all ``r^2`` ordered pairs remove the band
+        ``|i - j| <= M - 1``, whose size is ``r + 2 * sum_{d=1}^{M-1}(r-d)``.
+        """
+        r, m = self.r, self.gap
+        band = r  # the diagonal i == j
+        width = min(m - 1, r - 1)
+        band += 2 * sum(r - d for d in range(1, width + 1))
+        return r * r - band
+
+    def adjacent(self, u: Node, v: Node) -> bool:
+        """True when visited nodes ``u`` and ``v`` are adjacent in ``G``."""
+        nbrs = self.neighbor_sets.get(u)
+        return nbrs is not None and v in nbrs
+
+    def far_ordered_pair_count(self, u: Node, v: Node) -> int:
+        """Number of ordered pairs ``(i, j)`` with ``x_i = u``, ``x_j = v``
+        and ``|i - j| >= M`` (``u != v`` assumed).
+
+        Total cross pairs minus near pairs; near pairs are counted with a
+        two-pointer sweep over the (short) sorted position lists.
+        """
+        pu = self.positions.get(u, ())
+        pv = self.positions.get(v, ())
+        total = len(pu) * len(pv)
+        if total == 0:
+            return 0
+        return total - _near_cross_pairs(pu, pv, self.gap)
+
+    def far_collision_pairs(self) -> int:
+        """Number of ordered pairs ``(i, j) in I`` with ``x_i == x_j``."""
+        m = self.gap
+        count = 0
+        for pos in self.positions.values():
+            c = len(pos)
+            if c < 2:
+                continue
+            near = 0
+            left = 0
+            for right in range(c):
+                while pos[right] - pos[left] > m - 1:
+                    left += 1
+                near += right - left  # unordered near pairs ending at right
+            count += c * (c - 1) - 2 * near
+        return count
+
+
+def _near_cross_pairs(pu, pv, gap: int) -> int:
+    """Ordered pairs ``(p, q)`` with ``p in pu``, ``q in pv``,
+    ``|p - q| <= gap - 1`` (both lists ascending)."""
+    count = 0
+    lo = 0
+    hi = 0
+    for p in pu:
+        while lo < len(pv) and pv[lo] < p - (gap - 1):
+            lo += 1
+        while hi < len(pv) and pv[hi] <= p + (gap - 1):
+            hi += 1
+        count += hi - lo
+    return count

@@ -1,0 +1,40 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+The harness follows the paper's protocol (Section V-D): per run a seed node
+is drawn uniformly at random; BFS, snowball, forest fire, and the random
+walk all start from that seed; subgraph sampling by RW, Gjoka et al., and
+the proposed method consume *the same walk* so the comparison isolates the
+generation method rather than the sample.
+
+Entry points:
+
+* :mod:`repro.experiments.runner` — generic sweep engine,
+* :mod:`repro.experiments.tables` — Table II / III / IV / V rows,
+* :mod:`repro.experiments.figures` — Figure 3 series and Figure 4 SVGs,
+* :mod:`repro.experiments.ablations` — design-choice ablations,
+* ``python -m repro.cli`` — command-line front end.
+"""
+
+from repro.experiments.methods import (
+    METHOD_NAMES,
+    SUBGRAPH_METHODS,
+    GENERATIVE_METHODS,
+    MethodOutput,
+    run_methods_once,
+)
+from repro.experiments.runner import (
+    ExperimentConfig,
+    MethodAggregate,
+    run_experiment,
+)
+
+__all__ = [
+    "METHOD_NAMES",
+    "SUBGRAPH_METHODS",
+    "GENERATIVE_METHODS",
+    "MethodOutput",
+    "run_methods_once",
+    "ExperimentConfig",
+    "MethodAggregate",
+    "run_experiment",
+]

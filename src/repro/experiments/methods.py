@@ -1,0 +1,137 @@
+"""Method registry: the six methods compared throughout the paper.
+
+``bfs`` / ``snowball`` / ``ff`` / ``rw`` are subgraph sampling with the
+corresponding crawler; ``gjoka`` and ``proposed`` are the generative
+methods.  :func:`run_methods_once` executes one fair-comparison run: same
+seed for every crawler, same walk shared by ``rw`` / ``gjoka`` /
+``proposed``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.graph.multigraph import MultiGraph, Node
+from repro.restore.gjoka import gjoka_generate
+from repro.restore.restorer import restore_from_walk
+from repro.sampling.access import GraphAccess
+from repro.sampling.crawlers import (
+    bfs_crawl,
+    forest_fire_crawl,
+    snowball_crawl,
+)
+from repro.sampling.subgraph import build_subgraph
+from repro.sampling.walkers import SamplingList, random_walk
+from repro.utils.rng import ensure_rng
+
+METHOD_NAMES: tuple[str, ...] = ("bfs", "snowball", "ff", "rw", "gjoka", "proposed")
+SUBGRAPH_METHODS: tuple[str, ...] = ("bfs", "snowball", "ff", "rw")
+GENERATIVE_METHODS: tuple[str, ...] = ("gjoka", "proposed")
+
+# Display labels matching the paper's tables.
+METHOD_LABELS: dict[str, str] = {
+    "bfs": "BFS",
+    "snowball": "Snowball",
+    "ff": "FF",
+    "rw": "RW",
+    "gjoka": "Gjoka et al.",
+    "proposed": "Proposed",
+}
+
+
+@dataclass
+class MethodOutput:
+    """One method's generated graph plus its generation timings."""
+
+    method: str
+    graph: MultiGraph
+    total_seconds: float
+    rewiring_seconds: float = 0.0
+
+
+def run_methods_once(
+    original: MultiGraph,
+    fraction: float,
+    methods: tuple[str, ...] = METHOD_NAMES,
+    rc: float = 50.0,
+    rng: random.Random | int | None = None,
+    max_rewiring_attempts: int | None = None,
+) -> dict[str, MethodOutput]:
+    """Run one fair-comparison round of the requested methods.
+
+    Parameters
+    ----------
+    original:
+        The hidden graph (each method sees it only through a fresh
+        :class:`GraphAccess`).
+    fraction:
+        Fraction of nodes to query (the paper sweeps 1%-10%).
+    methods:
+        Subset of :data:`METHOD_NAMES` to run.
+    rc:
+        Rewiring coefficient for the generative methods.
+    rng:
+        Controls the shared seed node, every crawler, and the generation
+        phases.
+    """
+    unknown = [m for m in methods if m not in METHOD_NAMES]
+    if unknown:
+        raise ExperimentError(f"unknown methods: {unknown}; known: {METHOD_NAMES}")
+    if not 0.0 < fraction <= 1.0:
+        raise ExperimentError(f"fraction must be in (0, 1], got {fraction}")
+    r = ensure_rng(rng)
+    target = max(3, int(round(fraction * original.num_nodes)))
+    seed = GraphAccess(original).random_seed(r)
+
+    walk: SamplingList | None = None
+    if any(m in methods for m in ("rw", "gjoka", "proposed")):
+        walk = random_walk(GraphAccess(original), target, seed=seed, rng=r)
+
+    outputs: dict[str, MethodOutput] = {}
+    for method in methods:
+        outputs[method] = _run_one(
+            method, original, target, seed, walk, rc, r, max_rewiring_attempts
+        )
+    return outputs
+
+
+def _run_one(
+    method: str,
+    original: MultiGraph,
+    target: int,
+    seed: Node,
+    walk: SamplingList | None,
+    rc: float,
+    rng: random.Random,
+    max_rewiring_attempts: int | None,
+) -> MethodOutput:
+    if method in SUBGRAPH_METHODS:
+        start = time.perf_counter()
+        if method == "rw":
+            assert walk is not None
+            sample = walk
+        elif method == "bfs":
+            sample = bfs_crawl(GraphAccess(original), target, seed=seed, rng=rng)
+        elif method == "snowball":
+            sample = snowball_crawl(GraphAccess(original), target, seed=seed, rng=rng)
+        else:  # ff
+            sample = forest_fire_crawl(GraphAccess(original), target, seed=seed, rng=rng)
+        subgraph = build_subgraph(sample)
+        elapsed = time.perf_counter() - start
+        return MethodOutput(method, subgraph.graph, elapsed)
+
+    assert walk is not None
+    if method == "gjoka":
+        result = gjoka_generate(
+            walk, rc=rc, rng=rng, max_rewiring_attempts=max_rewiring_attempts
+        )
+    else:  # proposed
+        result = restore_from_walk(
+            walk, rc=rc, rng=rng, max_rewiring_attempts=max_rewiring_attempts
+        )
+    return MethodOutput(
+        method, result.graph, result.total_seconds, result.rewiring_seconds
+    )

@@ -1,0 +1,101 @@
+"""Result persistence: CSV and Markdown writers for experiment aggregates.
+
+The table formatters in :mod:`repro.experiments.tables` print the paper's
+layout; downstream users usually want machine-readable output as well.
+These writers serialize :class:`MethodAggregate` sweeps to CSV (one row per
+dataset x method with all 12 per-property distances) and to GitHub-flavored
+Markdown tables for reports.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+
+from repro.experiments.methods import METHOD_LABELS
+from repro.experiments.runner import MethodAggregate
+from repro.metrics.suite import PROPERTY_LABELS, PROPERTY_NAMES
+
+SweepResults = dict[str, dict[str, MethodAggregate]]
+
+
+def results_to_csv(results: SweepResults) -> str:
+    """CSV text: dataset, method, 12 property distances, avg, sd, timings."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    header = (
+        ["dataset", "method"]
+        + list(PROPERTY_NAMES)
+        + ["average_l1", "std_l1", "total_seconds", "rewiring_seconds"]
+    )
+    writer.writerow(header)
+    for dataset, by_method in results.items():
+        for method, agg in by_method.items():
+            row = [dataset, method]
+            row += [f"{agg.per_property[p]:.6f}" for p in PROPERTY_NAMES]
+            row += [
+                f"{agg.average_l1:.6f}",
+                f"{agg.std_l1:.6f}",
+                f"{agg.total_seconds:.6f}",
+                f"{agg.rewiring_seconds:.6f}",
+            ]
+            writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_csv(results: SweepResults, path: str | os.PathLike) -> None:
+    """Write :func:`results_to_csv` output to ``path``."""
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        f.write(results_to_csv(results))
+
+
+def results_to_markdown(results: SweepResults, caption: str = "") -> str:
+    """Markdown table of avg ± sd per (dataset, method), paper layout."""
+    methods = list(next(iter(results.values())))
+    lines: list[str] = []
+    if caption:
+        lines.append(f"**{caption}**")
+        lines.append("")
+    header = "| Dataset | " + " | ".join(METHOD_LABELS[m] for m in methods) + " |"
+    divider = "|" + "---|" * (len(methods) + 1)
+    lines.append(header)
+    lines.append(divider)
+    for dataset, by_method in results.items():
+        best = min(methods, key=lambda m: by_method[m].average_l1)
+        cells = []
+        for m in methods:
+            agg = by_method[m]
+            text = f"{agg.average_l1:.3f} ± {agg.std_l1:.3f}"
+            cells.append(f"**{text}**" if m == best else text)
+        lines.append("| " + dataset + " | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def per_property_markdown(
+    results: SweepResults, dataset: str
+) -> str:
+    """Markdown table of the 12 per-property distances for one dataset."""
+    by_method = results[dataset]
+    methods = list(by_method)
+    lines = [
+        "| Property | " + " | ".join(METHOD_LABELS[m] for m in methods) + " |",
+        "|" + "---|" * (len(methods) + 1),
+    ]
+    for prop in PROPERTY_NAMES:
+        values = {m: by_method[m].per_property[prop] for m in methods}
+        best = min(methods, key=lambda m: values[m])
+        cells = [
+            f"**{values[m]:.3f}**" if m == best else f"{values[m]:.3f}"
+            for m in methods
+        ]
+        lines.append(f"| {PROPERTY_LABELS[prop]} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def write_markdown(
+    results: SweepResults, path: str | os.PathLike, caption: str = ""
+) -> None:
+    """Write :func:`results_to_markdown` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(results_to_markdown(results, caption=caption) + "\n")

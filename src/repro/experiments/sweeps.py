@@ -1,0 +1,115 @@
+"""Grid sweeps: run experiment cells over a parameter grid and persist.
+
+The table/figure modules cover the paper's fixed protocols; this module is
+the general tool behind them — a cartesian sweep over datasets, crawl
+fractions, and rewiring budgets, with results streamed into the CSV/
+Markdown writers so long runs survive interruption.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.experiments.methods import METHOD_NAMES
+from repro.experiments.report import results_to_csv
+from repro.experiments.runner import (
+    ExperimentConfig,
+    MethodAggregate,
+    run_experiment,
+)
+from repro.metrics.suite import EvaluationConfig
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """Cartesian sweep specification."""
+
+    datasets: tuple[str, ...]
+    fractions: tuple[float, ...] = (0.10,)
+    rcs: tuple[float, ...] = (50.0,)
+    runs: int = 3
+    methods: tuple[str, ...] = METHOD_NAMES
+    scale: float = 1.0
+    seed: int = 1
+    evaluation: EvaluationConfig = field(default_factory=EvaluationConfig)
+
+    def cells(self) -> Iterator[ExperimentConfig]:
+        """Yield one :class:`ExperimentConfig` per grid cell."""
+        if not self.datasets:
+            raise ExperimentError("sweep needs at least one dataset")
+        for dataset in self.datasets:
+            for fraction in self.fractions:
+                for rc in self.rcs:
+                    yield ExperimentConfig(
+                        dataset=dataset,
+                        fraction=fraction,
+                        runs=self.runs,
+                        methods=self.methods,
+                        rc=rc,
+                        scale=self.scale,
+                        seed=self.seed,
+                        evaluation=self.evaluation,
+                    )
+
+    def size(self) -> int:
+        """Number of cells in the grid."""
+        return len(self.datasets) * len(self.fractions) * len(self.rcs)
+
+
+@dataclass
+class SweepCellResult:
+    """One completed cell: its config plus per-method aggregates."""
+
+    config: ExperimentConfig
+    aggregates: dict[str, MethodAggregate]
+
+    def key(self) -> str:
+        """Stable label: ``dataset@fraction/rc``."""
+        return (
+            f"{self.config.dataset}@{self.config.fraction:g}"
+            f"/rc{self.config.rc:g}"
+        )
+
+
+def run_sweep(
+    grid: SweepGrid,
+    csv_path: str | os.PathLike | None = None,
+) -> list[SweepCellResult]:
+    """Execute every cell of ``grid`` (optionally checkpointing to CSV).
+
+    When ``csv_path`` is given, the CSV is rewritten after every completed
+    cell, so a killed sweep loses at most one cell of work.
+    """
+    results: list[SweepCellResult] = []
+    for config in grid.cells():
+        aggregates = run_experiment(config)
+        results.append(SweepCellResult(config=config, aggregates=aggregates))
+        if csv_path is not None:
+            _write_checkpoint(results, csv_path)
+    return results
+
+
+def sweep_to_csv(results: list[SweepCellResult]) -> str:
+    """Serialize a sweep with the cell key as the dataset column."""
+    keyed = {cell.key(): cell.aggregates for cell in results}
+    return results_to_csv(keyed)
+
+
+def best_method_per_cell(results: list[SweepCellResult]) -> dict[str, str]:
+    """``{cell key: winning method}`` by lowest average L1."""
+    out: dict[str, str] = {}
+    for cell in results:
+        out[cell.key()] = min(
+            cell.aggregates, key=lambda m: cell.aggregates[m].average_l1
+        )
+    return out
+
+
+def _write_checkpoint(
+    results: list[SweepCellResult], csv_path: str | os.PathLike
+) -> None:
+    with open(csv_path, "w", encoding="utf-8", newline="") as f:
+        f.write(sweep_to_csv(results))

@@ -1,0 +1,32 @@
+"""Graph substrate: multigraph container, algorithms, generators, datasets.
+
+The paper's graph model allows multiple edges and self-loops (Section III-A,
+with the convention ``A_ii = 2 x number of loops``), because stub matching in
+the dK-construction phase can create both.  :class:`MultiGraph` implements
+exactly that model; :mod:`repro.graph.simplify` collapses a multigraph to the
+simple graph used when *evaluating* structural properties.
+"""
+
+from repro.graph.multigraph import MultiGraph
+from repro.graph.components import (
+    connected_components,
+    largest_connected_component,
+    is_connected,
+)
+from repro.graph.simplify import simplified, count_multi_edges, count_loops
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.convert import to_networkx, from_networkx
+
+__all__ = [
+    "MultiGraph",
+    "connected_components",
+    "largest_connected_component",
+    "is_connected",
+    "simplified",
+    "count_multi_edges",
+    "count_loops",
+    "read_edge_list",
+    "write_edge_list",
+    "to_networkx",
+    "from_networkx",
+]

@@ -1,0 +1,270 @@
+"""Undirected multigraph with multiplicity-aware adjacency.
+
+Design notes
+------------
+* Nodes are arbitrary hashable ids (the library uses ints).
+* The adjacency structure is ``dict[node, dict[node, int]]`` where the inner
+  value is the adjacency-matrix entry ``A[u][v]``: the number of parallel
+  edges for ``u != v`` and *twice* the number of self-loops for ``u == v``
+  (the convention of Newman's *Networks* adopted by the paper).  With this
+  convention ``degree(u) == sum(A[u].values())`` with no special casing, and
+  the handshake identity ``sum(degrees) == 2 * num_edges`` holds including
+  loops.
+* ``num_edges`` counts parallel edges individually and each loop once.
+
+The container is deliberately minimal: algorithms that need extra indexing
+(for example the rewiring engine's candidate-edge list) build it themselves,
+keeping this class small and obviously correct.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.errors import GraphError
+
+Node = Hashable
+
+
+class MultiGraph:
+    """Undirected multigraph allowing parallel edges and self-loops."""
+
+    def __init__(self) -> None:
+        self._adj: dict[Node, dict[Node, int]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[tuple[Node, Node]], nodes: Iterable[Node] = ()
+    ) -> "MultiGraph":
+        """Build a graph from an edge iterable (plus optional isolated nodes)."""
+        g = cls()
+        for u in nodes:
+            g.add_node(u)
+        for u, v in edges:
+            g.add_edge(u, v)
+        return g
+
+    def copy(self) -> "MultiGraph":
+        """Deep copy of the adjacency structure."""
+        g = MultiGraph()
+        g._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
+        g._num_edges = self._num_edges
+        return g
+
+    # ------------------------------------------------------------------
+    # nodes
+    # ------------------------------------------------------------------
+    def add_node(self, u: Node) -> None:
+        """Add node ``u`` (no-op when already present)."""
+        if u not in self._adj:
+            self._adj[u] = {}
+
+    def has_node(self, u: Node) -> bool:
+        """True if ``u`` is a node of the graph."""
+        return u in self._adj
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over nodes in insertion order."""
+        return iter(self._adj)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._adj)
+
+    def remove_node(self, u: Node) -> None:
+        """Remove ``u`` and every incident edge."""
+        if u not in self._adj:
+            raise GraphError(f"node {u!r} not in graph")
+        for v, a in list(self._adj[u].items()):
+            if v == u:
+                self._num_edges -= a // 2
+            else:
+                self._num_edges -= a
+                del self._adj[v][u]
+        del self._adj[u]
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add one edge between ``u`` and ``v`` (a loop when ``u == v``)."""
+        self.add_node(u)
+        self.add_node(v)
+        if u == v:
+            self._adj[u][u] = self._adj[u].get(u, 0) + 2
+        else:
+            self._adj[u][v] = self._adj[u].get(v, 0) + 1
+            self._adj[v][u] = self._adj[v].get(u, 0) + 1
+        self._num_edges += 1
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove one copy of edge ``(u, v)``; raises when absent."""
+        a = self._adj.get(u, {}).get(v, 0)
+        if u == v:
+            if a < 2:
+                raise GraphError(f"no loop at {u!r} to remove")
+            if a == 2:
+                del self._adj[u][u]
+            else:
+                self._adj[u][u] = a - 2
+        else:
+            if a < 1:
+                raise GraphError(f"edge ({u!r}, {v!r}) not in graph")
+            if a == 1:
+                del self._adj[u][v]
+                del self._adj[v][u]
+            else:
+                self._adj[u][v] = a - 1
+                self._adj[v][u] = a - 1
+        self._num_edges -= 1
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """True if at least one edge joins ``u`` and ``v``."""
+        return self._adj.get(u, {}).get(v, 0) > 0
+
+    def multiplicity(self, u: Node, v: Node) -> int:
+        """Adjacency-matrix entry ``A[u][v]`` (0 when absent).
+
+        For ``u == v`` this is twice the number of loops, matching the
+        paper's convention.
+        """
+        return self._adj.get(u, {}).get(v, 0)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges, counting parallels individually and loops once."""
+        return self._num_edges
+
+    def edges(self) -> Iterator[tuple[Node, Node]]:
+        """Iterate over edges with multiplicity, each once, loops included.
+
+        Each undirected non-loop edge is yielded once (from the endpoint
+        visited first in node order); parallel edges are yielded as many
+        times as their multiplicity.
+        """
+        seen: set[Node] = set()
+        for u, nbrs in self._adj.items():
+            seen.add(u)
+            for v, a in nbrs.items():
+                if v == u:
+                    for _ in range(a // 2):
+                        yield (u, u)
+                elif v not in seen:
+                    for _ in range(a):
+                        yield (u, v)
+
+    # ------------------------------------------------------------------
+    # neighborhood queries
+    # ------------------------------------------------------------------
+    def degree(self, u: Node) -> int:
+        """Degree of ``u`` (loops contribute 2)."""
+        try:
+            return sum(self._adj[u].values())
+        except KeyError:
+            raise GraphError(f"node {u!r} not in graph") from None
+
+    def neighbors(self, u: Node) -> Iterator[Node]:
+        """Iterate over distinct neighbors of ``u`` (includes ``u`` on a loop)."""
+        try:
+            return iter(self._adj[u])
+        except KeyError:
+            raise GraphError(f"node {u!r} not in graph") from None
+
+    def neighbor_multiplicities(self, u: Node) -> dict[Node, int]:
+        """Copy of the ``neighbor -> A[u][nbr]`` mapping for ``u``."""
+        try:
+            return dict(self._adj[u])
+        except KeyError:
+            raise GraphError(f"node {u!r} not in graph") from None
+
+    def adjacency_view(self, u: Node) -> dict[Node, int]:
+        """Read-only *live* view of ``u``'s adjacency dict.
+
+        Hot loops (triangle counting in the rewiring engine) use this to
+        avoid the copy made by :meth:`neighbor_multiplicities`.  Callers must
+        not mutate the returned mapping.
+        """
+        try:
+            return self._adj[u]
+        except KeyError:
+            raise GraphError(f"node {u!r} not in graph") from None
+
+    def incident_edge_endpoints(self, u: Node) -> list[Node]:
+        """Endpoints of the edges incident to ``u``, repeated by multiplicity.
+
+        A loop contributes ``u`` twice (it occupies two edge slots), so the
+        returned list has exactly ``degree(u)`` entries.  Sampling uniformly
+        from it implements the random walk's "choose an edge uniformly at
+        random from N(u)" step.
+        """
+        out: list[Node] = []
+        for v, a in self._adj.get(u, {}).items():
+            out.extend([v] * a)
+        return out
+
+    def random_neighbor(self, u: Node, rng: random.Random) -> Node:
+        """Endpoint of an incident edge of ``u`` chosen uniformly at random."""
+        nbrs = self._adj.get(u)
+        if not nbrs:
+            raise GraphError(f"node {u!r} has no incident edges")
+        total = sum(nbrs.values())
+        pick = rng.randrange(total)
+        for v, a in nbrs.items():
+            pick -= a
+            if pick < 0:
+                return v
+        raise AssertionError("unreachable: multiplicities changed mid-draw")
+
+    # ------------------------------------------------------------------
+    # aggregate structure
+    # ------------------------------------------------------------------
+    def degrees(self) -> dict[Node, int]:
+        """Mapping node -> degree for every node."""
+        return {u: sum(nbrs.values()) for u, nbrs in self._adj.items()}
+
+    def max_degree(self) -> int:
+        """Maximum degree over all nodes (0 for the empty graph)."""
+        if not self._adj:
+            return 0
+        return max(sum(nbrs.values()) for nbrs in self._adj.values())
+
+    def average_degree(self) -> float:
+        """``2m / n``; 0.0 for the empty graph."""
+        if not self._adj:
+            return 0.0
+        return 2.0 * self._num_edges / len(self._adj)
+
+    def degree_histogram(self) -> dict[int, int]:
+        """Mapping ``k -> number of nodes with degree k`` (only nonzero k counts
+        of present degrees; isolated nodes appear under ``k = 0``)."""
+        hist: dict[int, int] = {}
+        for nbrs in self._adj.values():
+            k = sum(nbrs.values())
+            hist[k] = hist.get(k, 0) + 1
+        return hist
+
+    def is_simple(self) -> bool:
+        """True when the graph has no parallel edges and no loops."""
+        for u, nbrs in self._adj.items():
+            for v, a in nbrs.items():
+                if v == u or a > 1:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # dunder conveniences
+    # ------------------------------------------------------------------
+    def __contains__(self, u: Node) -> bool:
+        return u in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MultiGraph(n={self.num_nodes}, m={self.num_edges})"

@@ -1,0 +1,47 @@
+"""Multigraph -> simple graph collapse and multi-edge/loop accounting.
+
+Generated graphs may contain parallel edges and loops (the stub-matching
+phase permits them, as in the paper's model).  The 12 structural properties
+are evaluated on graphs as-is via the adjacency-matrix convention, but the
+dataset preprocessing step ("removing multiple edges and the directions of
+edges") needs an explicit simplification pass, provided here.
+"""
+
+from __future__ import annotations
+
+from repro.graph.multigraph import MultiGraph
+
+
+def simplified(graph: MultiGraph) -> MultiGraph:
+    """Copy of ``graph`` with parallel edges collapsed and loops dropped."""
+    out = MultiGraph()
+    for u in graph.nodes():
+        out.add_node(u)
+    seen: set = set()
+    for u in graph.nodes():
+        seen.add(u)
+        for v in graph.neighbors(u):
+            if v != u and v not in seen:
+                out.add_edge(u, v)
+    return out
+
+
+def count_multi_edges(graph: MultiGraph) -> int:
+    """Number of *excess* parallel edges (a triple edge counts as 2)."""
+    excess = 0
+    seen: set = set()
+    for u in graph.nodes():
+        seen.add(u)
+        view = graph.neighbor_multiplicities(u)
+        for v, a in view.items():
+            if v != u and v not in seen and a > 1:
+                excess += a - 1
+    return excess
+
+
+def count_loops(graph: MultiGraph) -> int:
+    """Total number of self-loops in the graph."""
+    loops = 0
+    for u in graph.nodes():
+        loops += graph.multiplicity(u, u) // 2
+    return loops

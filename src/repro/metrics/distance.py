@@ -1,0 +1,50 @@
+"""Normalized L1 distance (the paper's accuracy measure, Section V-C).
+
+For vector-valued properties indexed by degree / length / partner count,
+``L1(x, x~) = sum_i |x~_i - x_i| / sum_i x_i`` over the union of indices
+(missing entries are zero).  For scalars this reduces to the relative error
+``|x~ - x| / x``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+
+def relative_error(original: float, generated: float) -> float:
+    """``|generated - original| / original`` (scalar L1)."""
+    if original == 0:
+        return 0.0 if generated == 0 else float("inf")
+    return abs(generated - original) / abs(original)
+
+
+def normalized_l1(
+    original: Mapping[object, float] | float,
+    generated: Mapping[object, float] | float,
+) -> float:
+    """Normalized L1 distance between two property values.
+
+    Accepts either two scalars or two sparse mappings; mixing the two forms
+    is a usage error and raises ``TypeError``.
+    """
+    orig_is_map = isinstance(original, Mapping)
+    gen_is_map = isinstance(generated, Mapping)
+    if orig_is_map != gen_is_map:
+        raise TypeError(
+            "normalized_l1 needs two scalars or two mappings, got "
+            f"{type(original).__name__} and {type(generated).__name__}"
+        )
+    if not orig_is_map:
+        return relative_error(float(original), float(generated))
+
+    keys = set(original) | set(generated)
+    diff = 0.0
+    norm = 0.0
+    for key in keys:
+        x = float(original.get(key, 0.0))
+        y = float(generated.get(key, 0.0))
+        diff += abs(y - x)
+        norm += x
+    if norm == 0.0:
+        return 0.0 if diff == 0.0 else float("inf")
+    return diff / norm

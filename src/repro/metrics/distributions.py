@@ -1,0 +1,99 @@
+"""Distribution helpers for heavy-tailed graph statistics.
+
+Degree and shared-partner distributions of social graphs span several
+orders of magnitude; raw histograms are unreadable and naive linear bins
+hide the tail.  These helpers provide the standard tooling: CCDFs,
+logarithmic binning, and distribution moments — used by the examples when
+eyeballing how well a restored graph's tail matches the original's.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+
+def ccdf(distribution: Mapping[int, float]) -> dict[int, float]:
+    """Complementary CDF: ``P(X >= x)`` for every support point ``x``.
+
+    Input is a (possibly unnormalized) pmf over integer support; output is
+    normalized so the smallest support point maps to 1.0.
+    """
+    if not distribution:
+        return {}
+    total = float(sum(distribution.values()))
+    if total <= 0.0:
+        return {x: 0.0 for x in distribution}
+    out: dict[int, float] = {}
+    acc = 0.0
+    for x in sorted(distribution, reverse=True):
+        acc += distribution[x] / total
+        out[x] = acc
+    return out
+
+
+def log_binned(
+    distribution: Mapping[int, float], bins_per_decade: int = 5
+) -> list[tuple[float, float]]:
+    """Log-bin a pmf over positive integers.
+
+    Returns ``(bin geometric center, mean density in bin)`` pairs, the
+    standard presentation for power-law-ish distributions.  Support points
+    ``<= 0`` are ignored.
+    """
+    if bins_per_decade < 1:
+        raise ValueError("need at least one bin per decade")
+    positive = {x: p for x, p in distribution.items() if x > 0}
+    if not positive:
+        return []
+    factor = 10.0 ** (1.0 / bins_per_decade)
+    x_min = min(positive)
+    buckets: dict[int, list[tuple[int, float]]] = {}
+    for x, p in positive.items():
+        idx = int(math.floor(math.log(x / x_min, factor) + 1e-12))
+        buckets.setdefault(idx, []).append((x, p))
+    out: list[tuple[float, float]] = []
+    for idx in sorted(buckets):
+        lo = x_min * factor**idx
+        hi = x_min * factor ** (idx + 1)
+        width = max(hi - lo, 1.0)
+        mass = sum(p for _, p in buckets[idx])
+        center = math.sqrt(lo * hi)
+        out.append((center, mass / width))
+    return out
+
+
+def distribution_mean(distribution: Mapping[int, float]) -> float:
+    """Mean of a pmf over integer support (0.0 when empty)."""
+    total = float(sum(distribution.values()))
+    if total <= 0.0:
+        return 0.0
+    return sum(x * p for x, p in distribution.items()) / total
+
+
+def distribution_variance(distribution: Mapping[int, float]) -> float:
+    """Variance of a pmf over integer support (0.0 when empty)."""
+    total = float(sum(distribution.values()))
+    if total <= 0.0:
+        return 0.0
+    mu = distribution_mean(distribution)
+    return sum(p * (x - mu) ** 2 for x, p in distribution.items()) / total
+
+
+def tail_exponent_estimate(
+    distribution: Mapping[int, float], x_min: int = 2
+) -> float:
+    """Continuous-MLE (Hill-style) power-law exponent estimate.
+
+    ``alpha^ = 1 + n_tail / sum ln(x / (x_min - 1/2))`` over support points
+    ``x >= x_min``, weights taken from the pmf.  A rough diagnostic, not a
+    fitting framework; returns ``nan`` when the tail is empty.
+    """
+    tail = {x: p for x, p in distribution.items() if x >= x_min and p > 0}
+    if not tail:
+        return float("nan")
+    weight = sum(tail.values())
+    log_sum = sum(p * math.log(x / (x_min - 0.5)) for x, p in tail.items())
+    if log_sum <= 0.0:
+        return float("nan")
+    return 1.0 + weight / log_sum

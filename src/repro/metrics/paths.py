@@ -1,0 +1,130 @@
+"""Shortest-path properties: l̄, {P(l)}, and the diameter.
+
+Computed on the largest connected component of the *simple projection* of
+the graph (parallel edges and loops do not change unweighted distances),
+matching the paper's evaluation protocol.
+
+Two modes:
+
+* exact — BFS from every node (scipy's C-level ``shortest_path``),
+* sampled — BFS from a uniform subset of sources.  The per-pair length
+  distribution from a uniform source sample is an unbiased estimate of the
+  full distribution; the diameter estimate is the max eccentricity seen,
+  refined with a double-sweep (restart a BFS from the farthest node found),
+  a standard lower-bound tightening that is exact on most real graphs.
+
+The experiment harness flips to sampling above a configurable node count
+(see :class:`repro.metrics.suite.EvaluationConfig`); the choice is recorded
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import csgraph
+
+from repro.graph.components import largest_connected_component
+from repro.graph.multigraph import MultiGraph
+from repro.graph.simplify import simplified
+from repro.metrics.matrix import node_ordering, to_csr
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class ShortestPathStats:
+    """Bundle of the three shortest-path properties (paper items 8-10)."""
+
+    average_length: float
+    length_distribution: dict[int, float]
+    diameter: int
+    exact: bool
+    num_sources: int
+
+
+def shortest_path_stats(
+    graph: MultiGraph,
+    num_sources: int | None = None,
+    rng: random.Random | int | None = None,
+) -> ShortestPathStats:
+    """Compute l̄, {P(l)} and l_max on the graph's largest component.
+
+    Parameters
+    ----------
+    graph:
+        Any multigraph; reduced internally to its simple largest component.
+    num_sources:
+        ``None`` for exact all-pairs BFS; otherwise the number of uniformly
+        sampled BFS sources (capped at the component size, in which case
+        the result is exact anyway).
+    rng:
+        Source-sampling randomness.
+    """
+    lcc = largest_connected_component(simplified(graph))
+    n = lcc.num_nodes
+    if n <= 1:
+        return ShortestPathStats(0.0, {}, 0, True, n)
+    nodes, index = node_ordering(lcc)
+    a = to_csr(lcc, index=index)
+
+    exact = num_sources is None or num_sources >= n
+    if exact:
+        sources = np.arange(n)
+    else:
+        r = ensure_rng(rng)
+        sources = np.asarray(r.sample(range(n), num_sources), dtype=np.int64)
+
+    dist = csgraph.shortest_path(a, method="D", unweighted=True, indices=sources)
+    lengths = dist[np.isfinite(dist) & (dist > 0)].astype(np.int64)
+
+    if lengths.size == 0:
+        return ShortestPathStats(0.0, {}, 0, exact, len(sources))
+
+    counts = np.bincount(lengths)
+    total = lengths.sum()
+    num_pairs = lengths.size  # ordered (source, target) pairs
+    distribution = {
+        int(l): counts[l] / num_pairs for l in range(1, len(counts)) if counts[l]
+    }
+    average = float(total / num_pairs)
+    diameter = int(lengths.max())
+
+    if not exact:
+        diameter = _double_sweep_diameter(a, dist, sources, diameter)
+
+    return ShortestPathStats(average, distribution, diameter, exact, len(sources))
+
+
+def eccentricity_lower_bound(
+    graph: MultiGraph, num_sweeps: int = 4, rng: random.Random | int | None = None
+) -> int:
+    """Double-sweep diameter lower bound without computing full stats."""
+    lcc = largest_connected_component(simplified(graph))
+    if lcc.num_nodes <= 1:
+        return 0
+    nodes, index = node_ordering(lcc)
+    a = to_csr(lcc, index=index)
+    r = ensure_rng(rng)
+    best = 0
+    src = r.randrange(lcc.num_nodes)
+    for _ in range(num_sweeps):
+        dist = csgraph.shortest_path(a, method="D", unweighted=True, indices=[src])[0]
+        finite = np.where(np.isfinite(dist))[0]
+        far = finite[np.argmax(dist[finite])]
+        best = max(best, int(dist[far]))
+        src = int(far)
+    return best
+
+
+def _double_sweep_diameter(a, dist, sources, current: int) -> int:
+    """Tighten a sampled diameter estimate: BFS again from the farthest
+    node reached by any sampled source and keep the larger eccentricity."""
+    flat = np.where(np.isfinite(dist), dist, -1.0)
+    src_idx, far_idx = np.unravel_index(int(np.argmax(flat)), flat.shape)
+    sweep = csgraph.shortest_path(a, method="D", unweighted=True, indices=[far_idx])[0]
+    finite = sweep[np.isfinite(sweep)]
+    if finite.size:
+        current = max(current, int(finite.max()))
+    return current

@@ -1,0 +1,91 @@
+"""Human-readable structural profiles of a graph.
+
+``graph_profile`` evaluates the 12 paper properties plus the core/periphery
+summary and formats them as a compact text block — the CLI's ``profile``
+command and the examples use it to show what a graph "looks like"
+numerically before and after restoration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.multigraph import MultiGraph
+from repro.metrics.cores import degeneracy, periphery_fraction
+from repro.metrics.suite import (
+    EvaluationConfig,
+    PropertySet,
+    compute_properties,
+)
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """A property set plus the auxiliary core/periphery summary."""
+
+    properties: PropertySet
+    degeneracy: int
+    periphery_fraction: float
+    num_nodes: int
+    num_edges: int
+
+
+def graph_profile(
+    graph: MultiGraph, config: EvaluationConfig | None = None
+) -> GraphProfile:
+    """Evaluate the full profile of ``graph``."""
+    props = compute_properties(graph, config)
+    return GraphProfile(
+        properties=props,
+        degeneracy=degeneracy(graph),
+        periphery_fraction=periphery_fraction(graph),
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+    )
+
+
+def format_profile(profile: GraphProfile, title: str = "graph") -> str:
+    """Multi-line text block of the profile's headline numbers."""
+    p = profile.properties
+    top_degrees = sorted(p.degree_distribution, reverse=True)[:3]
+    lines = [
+        f"# {title}",
+        f"nodes               {profile.num_nodes}",
+        f"edges               {profile.num_edges}",
+        f"average degree      {p.average_degree:.3f}",
+        f"max degrees         {', '.join(str(k) for k in top_degrees)}",
+        f"clustering (cbar)   {p.clustering:.4f}",
+        f"avg path length     {p.average_path_length:.3f}",
+        f"diameter            {p.diameter:.0f}",
+        f"largest eigenvalue  {p.largest_eigenvalue:.3f}",
+        f"degeneracy (k-core) {profile.degeneracy}",
+        f"periphery fraction  {profile.periphery_fraction:.3f}",
+    ]
+    return "\n".join(lines)
+
+
+def format_profile_comparison(
+    original: GraphProfile, restored: GraphProfile
+) -> str:
+    """Side-by-side original vs. restored profile."""
+    a, b = original.properties, restored.properties
+    rows = [
+        ("nodes", original.num_nodes, restored.num_nodes, "d"),
+        ("edges", original.num_edges, restored.num_edges, "d"),
+        ("average degree", a.average_degree, b.average_degree, ".3f"),
+        ("clustering", a.clustering, b.clustering, ".4f"),
+        ("avg path length", a.average_path_length, b.average_path_length, ".3f"),
+        ("diameter", a.diameter, b.diameter, ".0f"),
+        ("largest eigenvalue", a.largest_eigenvalue, b.largest_eigenvalue, ".3f"),
+        ("degeneracy", original.degeneracy, restored.degeneracy, "d"),
+        (
+            "periphery fraction",
+            original.periphery_fraction,
+            restored.periphery_fraction,
+            ".3f",
+        ),
+    ]
+    lines = [f"{'property':<20s} {'original':>12s} {'restored':>12s}"]
+    for label, x, y, fmt in rows:
+        lines.append(f"{label:<20s} {x:>12{fmt}} {y:>12{fmt}}")
+    return "\n".join(lines)

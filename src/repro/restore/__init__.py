@@ -1,0 +1,54 @@
+"""The proposed restoration method and the Gjoka et al. baseline.
+
+Pipeline (Section IV, Fig. 2):
+
+1. :func:`repro.restore.target_degree_vector.build_target_degree_vector`
+   — target ``{n*(k)}`` satisfying DV-1..3 (initialization, Algorithm 1
+   adjustment, Algorithm 2 modification).
+2. :func:`repro.restore.target_jdm.build_target_jdm`
+   — target ``{m*(k,k')}`` satisfying JDM-1..4 (initialization, Algorithm 3
+   adjustment, Algorithm 4 modification, re-adjustment with subgraph lower
+   limits).
+3. :func:`repro.dk.construction.build_graph_from_targets`
+   — Algorithm 5: grow the subgraph into a realization of the targets.
+4. :class:`repro.dk.rewiring.RewiringEngine`
+   — Algorithm 6: rewire non-subgraph edges toward ``{c̄^(k)}``.
+
+:func:`restore_graph` runs the whole pipeline; :func:`gjoka_generate` is
+the Appendix-B reimplementation of Gjoka et al.'s 2.5K method (same
+estimates, no subgraph structure).
+"""
+
+from repro.restore.target_degree_vector import (
+    DegreeVectorTargets,
+    build_target_degree_vector,
+)
+from repro.restore.target_jdm import build_target_jdm
+from repro.restore.restorer import (
+    RestorationResult,
+    restore_graph,
+    restore_from_walk,
+)
+from repro.restore.gjoka import gjoka_generate
+from repro.restore.diagnostics import (
+    CompositionReport,
+    TargetDeviation,
+    composition,
+    format_diagnostics,
+    target_deviation,
+)
+
+__all__ = [
+    "CompositionReport",
+    "TargetDeviation",
+    "composition",
+    "format_diagnostics",
+    "target_deviation",
+    "DegreeVectorTargets",
+    "build_target_degree_vector",
+    "build_target_jdm",
+    "RestorationResult",
+    "restore_graph",
+    "restore_from_walk",
+    "gjoka_generate",
+]

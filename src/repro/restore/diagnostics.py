@@ -1,0 +1,127 @@
+"""Diagnostics for the target-construction phases.
+
+Algorithms 1–4 promise to satisfy the realizability conditions *while
+minimizing the error relative to the original estimates*.  These helpers
+measure that error, plus how much of the final graph is observed versus
+synthesized — the quantities a practitioner inspects when a restoration
+looks off (bad estimates and bad target fitting look identical in the
+final L1 scores; these separate them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.estimators.local import LocalEstimates
+from repro.metrics.distance import normalized_l1
+from repro.restore.restorer import RestorationResult
+
+DegreePair = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class TargetDeviation:
+    """Normalized L1 between raw estimates and the realizable targets."""
+
+    degree_vector_l1: float
+    jdm_l1: float
+    node_count_drift: float  # (sum n*(k) - n^) / n^
+    edge_count_drift: float  # (target m - m^) / m^
+
+
+def target_deviation(
+    estimates: LocalEstimates,
+    dv: dict[int, int],
+    jdm: dict[DegreePair, int],
+) -> TargetDeviation:
+    """Measure how far the realizable targets drifted from the estimates.
+
+    Small values certify the adjustment/modification steps stayed close to
+    the estimates while repairing realizability; large values indicate the
+    estimates were mutually inconsistent (e.g. a noisy ``n^`` forcing heavy
+    JDM adjustment).
+    """
+    n_hat_by_k = {
+        k: estimates.n_of_degree(k)
+        for k, p in estimates.degree_distribution.items()
+        if p > 0.0
+    }
+    m_hat_by_pair = {
+        pair: estimates.m_of_pair(*pair)
+        for pair, p in estimates.joint_degree_distribution.items()
+        if p > 0.0
+    }
+    dv_l1 = normalized_l1(n_hat_by_k, {k: float(c) for k, c in dv.items()})
+    jdm_l1 = normalized_l1(
+        m_hat_by_pair, {pair: float(c) for pair, c in jdm.items()}
+    )
+
+    n_target = float(sum(dv.values()))
+    n_drift = (
+        (n_target - estimates.num_nodes) / estimates.num_nodes
+        if estimates.num_nodes > 0
+        else 0.0
+    )
+    m_hat = estimates.num_nodes * estimates.average_degree / 2.0
+    m_target = sum(c for (k, kp), c in jdm.items() if k <= kp)
+    m_drift = (m_target - m_hat) / m_hat if m_hat > 0 else 0.0
+    return TargetDeviation(
+        degree_vector_l1=dv_l1,
+        jdm_l1=jdm_l1,
+        node_count_drift=n_drift,
+        edge_count_drift=m_drift,
+    )
+
+
+@dataclass(frozen=True)
+class CompositionReport:
+    """How much of a restored graph is observed versus synthesized."""
+
+    observed_nodes: int
+    added_nodes: int
+    observed_edges: int
+    added_edges: int
+
+    @property
+    def observed_edge_fraction(self) -> float:
+        """Share of the final edge count carried over from the sample."""
+        total = self.observed_edges + self.added_edges
+        return self.observed_edges / total if total else 0.0
+
+    @property
+    def observed_node_fraction(self) -> float:
+        """Share of the final node count carried over from the sample."""
+        total = self.observed_nodes + self.added_nodes
+        return self.observed_nodes / total if total else 0.0
+
+
+def composition(result: RestorationResult) -> CompositionReport:
+    """Observed-vs-synthesized census of a restoration result."""
+    observed_nodes = result.subgraph.num_nodes
+    observed_edges = result.subgraph.num_edges
+    return CompositionReport(
+        observed_nodes=observed_nodes,
+        added_nodes=result.graph.num_nodes - observed_nodes,
+        observed_edges=observed_edges,
+        added_edges=result.graph.num_edges - observed_edges,
+    )
+
+
+def format_diagnostics(
+    deviation: TargetDeviation, comp: CompositionReport
+) -> str:
+    """One text block with both diagnostic views."""
+    return "\n".join(
+        [
+            "target deviation (estimates -> realizable targets):",
+            f"  degree vector L1    {deviation.degree_vector_l1:.4f}",
+            f"  JDM L1              {deviation.jdm_l1:.4f}",
+            f"  node count drift    {deviation.node_count_drift:+.3%}",
+            f"  edge count drift    {deviation.edge_count_drift:+.3%}",
+            "composition (observed vs synthesized):",
+            f"  nodes  {comp.observed_nodes} observed + {comp.added_nodes} added "
+            f"({comp.observed_node_fraction:.1%} observed)",
+            f"  edges  {comp.observed_edges} observed + {comp.added_edges} added "
+            f"({comp.observed_edge_fraction:.1%} observed)",
+        ]
+    )

@@ -1,0 +1,210 @@
+"""Crawling methods used by the subgraph-sampling baselines.
+
+The paper compares against subgraph sampling driven by four crawlers
+(Section V-D): breadth-first search, snowball sampling (at most ``k``
+random neighbors explored per node, ``k = 50``), forest fire sampling
+(geometric burst of neighbors, ``p_f = 0.7``, with uniform-restart revival
+when the fire dies), and the random walk itself.
+
+Each crawler stops once ``target_queried`` distinct nodes have been queried
+and returns a :class:`CrawlResult` from which the induced subgraph is built.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import SamplingError
+from repro.graph.multigraph import Node
+from repro.sampling.access import GraphAccess
+from repro.sampling.walkers import SamplingList, random_walk
+from repro.utils.rng import ensure_rng
+
+DEFAULT_SNOWBALL_K = 50  # Ref. [28] via the paper's Section V-E
+DEFAULT_FOREST_FIRE_P = 0.7  # Ref. [24] via the paper's Section V-E
+
+
+@dataclass
+class CrawlResult:
+    """Outcome of a crawl: queried nodes in query order plus their adjacency."""
+
+    queried: list[Node] = field(default_factory=list)
+    neighbors: dict[Node, list[Node]] = field(default_factory=dict)
+
+    @property
+    def num_queried(self) -> int:
+        """Number of distinct queried nodes."""
+        return len(self.queried)
+
+    def record(self, node: Node, nbrs: list[Node]) -> None:
+        """Record that ``node`` was queried with adjacency ``nbrs``."""
+        if node not in self.neighbors:
+            self.queried.append(node)
+            self.neighbors[node] = nbrs
+
+
+def bfs_crawl(
+    access: GraphAccess,
+    target_queried: int,
+    seed: Node | None = None,
+    rng: random.Random | int | None = None,
+) -> CrawlResult:
+    """Breadth-first search crawl: explore all neighbors of the earliest
+    explored node, repeatedly, until the query budget is met."""
+    r = ensure_rng(rng)
+    start = seed if seed is not None else access.random_seed(r)
+    result = CrawlResult()
+    queue: deque[Node] = deque([start])
+    enqueued: set[Node] = {start}
+    while queue and result.num_queried < target_queried:
+        u = queue.popleft()
+        nbrs = access.query(u)
+        result.record(u, nbrs)
+        for v in nbrs:
+            if v not in enqueued:
+                enqueued.add(v)
+                queue.append(v)
+    _check_reached(result, target_queried, "BFS")
+    return result
+
+
+def snowball_crawl(
+    access: GraphAccess,
+    target_queried: int,
+    seed: Node | None = None,
+    k: int = DEFAULT_SNOWBALL_K,
+    rng: random.Random | int | None = None,
+) -> CrawlResult:
+    """Snowball sampling: BFS that expands at most ``k`` randomly chosen
+    distinct neighbors from each queried node."""
+    if k < 1:
+        raise SamplingError(f"snowball k must be >= 1, got {k}")
+    r = ensure_rng(rng)
+    start = seed if seed is not None else access.random_seed(r)
+    result = CrawlResult()
+    queue: deque[Node] = deque([start])
+    enqueued: set[Node] = {start}
+    while queue and result.num_queried < target_queried:
+        u = queue.popleft()
+        nbrs = access.query(u)
+        result.record(u, nbrs)
+        fresh = _distinct_unvisited(nbrs, enqueued)
+        picked = fresh if len(fresh) <= k else r.sample(fresh, k)
+        for v in picked:
+            enqueued.add(v)
+            queue.append(v)
+        if not queue and result.num_queried < target_queried:
+            _revive(queue, enqueued, result, r)
+    _check_reached(result, target_queried, "snowball")
+    return result
+
+
+def forest_fire_crawl(
+    access: GraphAccess,
+    target_queried: int,
+    seed: Node | None = None,
+    p_forward: float = DEFAULT_FOREST_FIRE_P,
+    rng: random.Random | int | None = None,
+) -> CrawlResult:
+    """Forest fire sampling: from each burning node, burn a geometric number
+    of unvisited neighbors (mean ``p_f / (1 - p_f)``).
+
+    When the fire dies before the budget is met, it is revived from a node
+    chosen uniformly at random among the already sampled nodes, as in
+    Kurant et al. (the paper's stated convention).
+    """
+    if not 0.0 < p_forward < 1.0:
+        raise SamplingError(f"forest fire p_forward must be in (0, 1), got {p_forward}")
+    r = ensure_rng(rng)
+    start = seed if seed is not None else access.random_seed(r)
+    result = CrawlResult()
+    queue: deque[Node] = deque([start])
+    enqueued: set[Node] = {start}
+    while result.num_queried < target_queried:
+        if not queue:
+            _revive(queue, enqueued, result, r)
+            if not queue:
+                break
+        u = queue.popleft()
+        nbrs = access.query(u)
+        result.record(u, nbrs)
+        fresh = _distinct_unvisited(nbrs, enqueued)
+        n_burn = min(_geometric(p_forward, r), len(fresh))
+        for v in r.sample(fresh, n_burn):
+            enqueued.add(v)
+            queue.append(v)
+    _check_reached(result, target_queried, "forest fire")
+    return result
+
+
+def random_walk_crawl(
+    access: GraphAccess,
+    target_queried: int,
+    seed: Node | None = None,
+    rng: random.Random | int | None = None,
+) -> CrawlResult:
+    """Random-walk crawl: the simple walk viewed as a crawler (ordered
+    repeats dropped, only distinct queried nodes kept)."""
+    walk = random_walk(access, target_queried, seed=seed, rng=rng)
+    return crawl_result_from_walk(walk)
+
+
+def crawl_result_from_walk(walk: SamplingList) -> CrawlResult:
+    """Project a walk's :class:`SamplingList` onto a :class:`CrawlResult`."""
+    result = CrawlResult()
+    for node in walk.nodes:
+        result.record(node, walk.neighbors[node])
+    return result
+
+
+def _distinct_unvisited(nbrs: list[Node], enqueued: set[Node]) -> list[Node]:
+    """Distinct neighbors not yet enqueued, preserving first-seen order."""
+    seen: set[Node] = set()
+    out: list[Node] = []
+    for v in nbrs:
+        if v not in enqueued and v not in seen:
+            seen.add(v)
+            out.append(v)
+    return out
+
+
+def _revive(
+    queue: deque, enqueued: set[Node], result: CrawlResult, rng: random.Random
+) -> None:
+    """Restart a dead crawl from a random already-sampled node's neighbor.
+
+    Any unvisited neighbor of any sampled node re-seeds the frontier; if no
+    such neighbor exists the sampled component is exhausted and the queue is
+    left empty for the caller to detect.
+    """
+    candidates: list[Node] = []
+    for u in result.queried:
+        candidates.extend(
+            v for v in result.neighbors[u] if v not in enqueued
+        )
+    if candidates:
+        fresh = rng.choice(candidates)
+        enqueued.add(fresh)
+        queue.append(fresh)
+
+
+def _geometric(p: float, rng: random.Random) -> int:
+    """Geometric draw on {0, 1, 2, ...} with success prob ``1 - p``.
+
+    ``P(X = x) = (1 - p) p^x`` so the mean is ``p / (1 - p)``, matching the
+    paper's forest-fire parameterization.
+    """
+    x = 0
+    while rng.random() < p:
+        x += 1
+    return x
+
+
+def _check_reached(result: CrawlResult, target: int, label: str) -> None:
+    if result.num_queried < target:
+        raise SamplingError(
+            f"{label} crawl exhausted the reachable component at "
+            f"{result.num_queried} < {target} queried nodes"
+        )

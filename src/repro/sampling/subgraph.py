@@ -1,0 +1,89 @@
+"""Induced-subgraph construction (Section III-D).
+
+Given the adjacency lists of the queried nodes, the sampled subgraph is
+``G' = (V', E')`` where ``E' = union of N(i) over queried i`` and
+``V' = V'_qry  ∪  V'_vis`` (queried nodes plus nodes visible as their
+neighbors).  The key structural fact, Lemma 1, falls out of the
+construction and is exposed as :meth:`SampledSubgraph.is_degree_exact`:
+
+* a queried node's subgraph degree equals its true degree, while
+* a visible node's subgraph degree is a lower bound on its true degree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SamplingError
+from repro.graph.multigraph import MultiGraph, Node
+from repro.sampling.crawlers import CrawlResult
+from repro.sampling.walkers import SamplingList
+
+
+@dataclass
+class SampledSubgraph:
+    """The subgraph ``G'`` plus the queried/visible partition of its nodes."""
+
+    graph: MultiGraph
+    queried: set[Node] = field(default_factory=set)
+    visible: set[Node] = field(default_factory=set)
+
+    @property
+    def num_nodes(self) -> int:
+        """``|V'|``."""
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """``|E'|``."""
+        return self.graph.num_edges
+
+    def is_degree_exact(self, node: Node) -> bool:
+        """True when the node's subgraph degree equals its degree in ``G``
+        (Lemma 1: exactly the queried nodes)."""
+        return node in self.queried
+
+    def edge_set(self) -> set[tuple[Node, Node]]:
+        """Canonicalized (min, max) set of the subgraph's edges.
+
+        The rewiring phase uses this to exclude subgraph edges from the
+        candidate pool; the original graphs are simple so a plain set
+        suffices.
+        """
+        return {(u, v) if u <= v else (v, u) for u, v in self.graph.edges()}
+
+
+def build_subgraph(sample: SamplingList | CrawlResult) -> SampledSubgraph:
+    """Construct ``G'`` from a walk's sampling list or a crawl result.
+
+    Each edge of ``E'`` appears once even when both endpoints were queried
+    (the union is a set of edges).  Works for any crawler since only the
+    queried-adjacency mapping is consumed.
+    """
+    neighbors = sample.neighbors
+    if not neighbors:
+        raise SamplingError("cannot build a subgraph from an empty sample")
+    queried = set(neighbors)
+    g = MultiGraph()
+    edge_seen: set[tuple[Node, Node]] = set()
+    for u in neighbors:
+        g.add_node(u)
+    visible: set[Node] = set()
+    for u, nbrs in neighbors.items():
+        for v in nbrs:
+            if v not in queried:
+                visible.add(v)
+            key = (u, v) if _node_key(u) <= _node_key(v) else (v, u)
+            if key not in edge_seen:
+                edge_seen.add(key)
+                g.add_edge(*key)
+    return SampledSubgraph(graph=g, queried=queried, visible=visible)
+
+
+def _node_key(node: Node):
+    """Stable ordering key for canonical edge direction.
+
+    Node ids are ints throughout the library; ``repr`` fallback keeps the
+    function total for exotic id types used in tests.
+    """
+    return (0, node) if isinstance(node, int) else (1, repr(node))

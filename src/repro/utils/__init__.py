@@ -1,0 +1,17 @@
+"""Small shared helpers: RNG management, integer rounding, running stats."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.ints import near_int, is_even, is_odd
+from repro.utils.stats import RunningStats, mean, pstdev
+from repro.utils.timers import Stopwatch
+
+__all__ = [
+    "ensure_rng",
+    "near_int",
+    "is_even",
+    "is_odd",
+    "RunningStats",
+    "mean",
+    "pstdev",
+    "Stopwatch",
+]

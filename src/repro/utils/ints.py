@@ -1,0 +1,39 @@
+"""Integer helpers used by the target-construction algorithms.
+
+The paper's ``NearInt`` rounds a real value to the nearest integer.  Python's
+built-in :func:`round` uses banker's rounding (0.5 -> 0), which would bias
+the target degree vector downward for the many estimates that land exactly
+on ``x.5`` after re-weighting.  We round half away from zero instead, the
+convention used in the reference implementation.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def near_int(value: float) -> int:
+    """Round ``value`` to the nearest integer, halves away from zero.
+
+    >>> near_int(2.5)
+    3
+    >>> near_int(2.4)
+    2
+    >>> near_int(-2.5)
+    -3
+    """
+    if math.isnan(value):
+        raise ValueError("cannot round NaN to an integer")
+    if value >= 0:
+        return int(math.floor(value + 0.5))
+    return -int(math.floor(-value + 0.5))
+
+
+def is_even(value: int) -> bool:
+    """Return True if ``value`` is even."""
+    return value % 2 == 0
+
+
+def is_odd(value: int) -> bool:
+    """Return True if ``value`` is odd."""
+    return value % 2 == 1

@@ -1,0 +1,45 @@
+"""Random number generator plumbing.
+
+Every stochastic routine in the library accepts an optional ``rng`` argument
+that may be ``None`` (fresh unseeded generator), an ``int`` seed, or an
+existing :class:`random.Random` instance.  :func:`ensure_rng` normalizes all
+three into a :class:`random.Random`, so call sites never branch on the type.
+
+The standard-library generator is used (rather than numpy's) because the
+algorithms are dominated by per-element integer choices on Python objects,
+where ``random.Random`` is both faster to call and simpler to share.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def ensure_rng(rng: random.Random | int | None = None) -> random.Random:
+    """Return a :class:`random.Random` for ``rng``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for a fresh unseeded generator, an ``int`` seed for a fresh
+        deterministic generator, or an existing generator which is returned
+        unchanged (so that callers can thread one generator through a
+        pipeline and keep the whole run reproducible).
+    """
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, int):
+        return random.Random(rng)
+    raise TypeError(f"rng must be None, int, or random.Random, got {type(rng)!r}")
+
+
+def spawn(rng: random.Random, salt: int = 0) -> random.Random:
+    """Derive an independent child generator from ``rng``.
+
+    Used when a pipeline stage should not perturb the parent's stream (e.g.
+    when timing a stage that may be skipped without changing later stages).
+    """
+    seed = rng.getrandbits(64) ^ (salt * 0x9E3779B97F4A7C15)
+    return random.Random(seed & 0xFFFFFFFFFFFFFFFF)

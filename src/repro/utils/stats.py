@@ -1,0 +1,83 @@
+"""Running statistics used by the experiment harness.
+
+The harness averages L1 distances over repeated runs; :class:`RunningStats`
+implements Welford's online algorithm so that long sweeps do not need to
+retain every sample.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean of ``values``; raises ``ValueError`` when empty."""
+    total = 0.0
+    count = 0
+    for v in values:
+        total += v
+        count += 1
+    if count == 0:
+        raise ValueError("mean of empty sequence")
+    return total / count
+
+
+def pstdev(values: Iterable[float]) -> float:
+    """Population standard deviation of ``values``.
+
+    The paper reports ``average ± standard deviation`` over the 12 property
+    distances of a single run set; population (not sample) deviation matches
+    that usage.
+    """
+    data = list(values)
+    if not data:
+        raise ValueError("pstdev of empty sequence")
+    mu = mean(data)
+    return math.sqrt(sum((v - mu) ** 2 for v in data) / len(data))
+
+
+class RunningStats:
+    """Welford online mean / variance accumulator."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the accumulator."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold every sample of ``values`` into the accumulator."""
+        for v in values:
+            self.add(v)
+
+    @property
+    def count(self) -> int:
+        """Number of samples folded in so far."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Mean of the samples seen so far (0.0 when empty)."""
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples seen so far."""
+        if self._count == 0:
+            return 0.0
+        return self._m2 / self._count
+
+    @property
+    def stdev(self) -> float:
+        """Population standard deviation of the samples seen so far."""
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RunningStats(count={self._count}, mean={self.mean:.6g}, sd={self.stdev:.6g})"

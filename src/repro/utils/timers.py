@@ -1,0 +1,58 @@
+"""Wall-clock timing helper for the generation-time experiments (Table IV/V)."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulating stopwatch with named splits.
+
+    The restoration pipeline reports both the total generation time and the
+    time spent inside the rewiring phase (the paper's Table IV separates the
+    two).  A ``Stopwatch`` is threaded through the pipeline and each phase
+    records its elapsed time under a label::
+
+        sw = Stopwatch()
+        with sw.measure("rewiring"):
+            rewire(...)
+        sw.total()          # sum over all labels
+        sw.elapsed("rewiring")
+    """
+
+    def __init__(self) -> None:
+        self._splits: dict[str, float] = {}
+
+    def measure(self, label: str) -> "_Measurement":
+        """Context manager that adds the block's wall time under ``label``."""
+        return _Measurement(self, label)
+
+    def add(self, label: str, seconds: float) -> None:
+        """Add ``seconds`` to ``label`` (creates the label if new)."""
+        self._splits[label] = self._splits.get(label, 0.0) + seconds
+
+    def elapsed(self, label: str) -> float:
+        """Accumulated seconds recorded under ``label`` (0.0 if absent)."""
+        return self._splits.get(label, 0.0)
+
+    def total(self) -> float:
+        """Sum of all recorded splits."""
+        return sum(self._splits.values())
+
+    def splits(self) -> dict[str, float]:
+        """Copy of the label -> seconds mapping."""
+        return dict(self._splits)
+
+
+class _Measurement:
+    def __init__(self, watch: Stopwatch, label: str) -> None:
+        self._watch = watch
+        self._label = label
+        self._start = 0.0
+
+    def __enter__(self) -> "_Measurement":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._watch.add(self._label, time.perf_counter() - self._start)

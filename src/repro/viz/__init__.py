@@ -1,0 +1,21 @@
+"""Graph visualization: force-directed layout + SVG rendering.
+
+Replaces the paper's Gephi step for Figure 4 (original vs. generated graph
+portraits).  The qualitative claims under test — subgraph sampling keeps
+the dense core but loses the low-degree periphery, Gjoka et al. loses the
+shape entirely, the proposed method keeps both — are visible under any
+force-directed layout, so a dependency-free Fruchterman–Reingold
+implementation (numpy-accelerated) plus a small SVG writer suffice.
+"""
+
+from repro.viz.layout import fruchterman_reingold_layout
+from repro.viz.svg import render_svg, save_svg
+from repro.viz.gallery import build_gallery, save_gallery
+
+__all__ = [
+    "fruchterman_reingold_layout",
+    "render_svg",
+    "save_svg",
+    "build_gallery",
+    "save_gallery",
+]

@@ -1,0 +1,67 @@
+"""HTML gallery combining the Figure 4 portraits into one page.
+
+The paper presents Figure 4 as a 7-panel grid (original plus six methods);
+this writer inlines the rendered SVGs into a single self-contained HTML
+file for side-by-side inspection in any browser.
+"""
+
+from __future__ import annotations
+
+import html
+import os
+
+
+def build_gallery(svg_paths: list[str], title: str = "Figure 4") -> str:
+    """HTML document embedding every SVG in a responsive grid.
+
+    Panel captions come from the file names (``fig4_<dataset>_<label>.svg``
+    -> ``<label>``); missing files raise rather than producing holes.
+    """
+    panels: list[str] = []
+    for path in svg_paths:
+        with open(path, "r", encoding="utf-8") as f:
+            svg = f.read()
+        label = _label_from_path(path)
+        panels.append(
+            '<figure class="panel">'
+            f"{svg}"
+            f"<figcaption>{html.escape(label)}</figcaption>"
+            "</figure>"
+        )
+    body = "\n".join(panels)
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{html.escape(title)}</title>
+<style>
+  body {{ font-family: sans-serif; margin: 1rem; }}
+  .grid {{ display: grid; grid-template-columns: repeat(auto-fit, minmax(320px, 1fr)); gap: 1rem; }}
+  .panel {{ margin: 0; border: 1px solid #ddd; padding: 0.5rem; }}
+  .panel svg {{ width: 100%; height: auto; }}
+  figcaption {{ text-align: center; font-weight: bold; padding-top: 0.25rem; }}
+</style>
+</head>
+<body>
+<h1>{html.escape(title)}</h1>
+<div class="grid">
+{body}
+</div>
+</body>
+</html>
+"""
+
+
+def save_gallery(
+    svg_paths: list[str],
+    path: str | os.PathLike,
+    title: str = "Figure 4",
+) -> None:
+    """Render and write the gallery HTML to ``path``."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(build_gallery(svg_paths, title=title))
+
+
+def _label_from_path(path: str) -> str:
+    stem = os.path.splitext(os.path.basename(path))[0]
+    return stem.rsplit("_", 1)[-1] if "_" in stem else stem

@@ -1,0 +1,86 @@
+"""Minimal SVG writer for graph portraits (Figure 4 output format).
+
+Black circles for nodes, translucent gray lines for edges — the paper's
+rendering convention — with node radius scaled gently by degree so the
+core/periphery contrast is visible at thumbnail size.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from xml.sax.saxutils import escape
+
+from repro.graph.multigraph import MultiGraph, Node
+
+Position = tuple[float, float]
+
+
+def render_svg(
+    graph: MultiGraph,
+    positions: dict[Node, Position],
+    size: int = 800,
+    title: str | None = None,
+    max_edges: int | None = 20_000,
+) -> str:
+    """SVG document string for ``graph`` at ``positions``.
+
+    Nodes missing from ``positions`` (e.g. dropped by layout sampling) are
+    skipped along with their edges.  ``max_edges`` truncates pathological
+    edge counts to keep files viewable; a comment in the SVG records any
+    truncation.
+    """
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}" '
+        f'viewBox="0 0 {size} {size}">',
+        f'<rect width="{size}" height="{size}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{size // 2}" y="20" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="14">{escape(title)}</text>'
+        )
+
+    drawn = 0
+    truncated = False
+    for u, v in graph.edges():
+        if u == v or u not in positions or v not in positions:
+            continue
+        if max_edges is not None and drawn >= max_edges:
+            truncated = True
+            break
+        x1, y1 = positions[u]
+        x2, y2 = positions[v]
+        parts.append(
+            f'<line x1="{x1 * size:.1f}" y1="{y1 * size:.1f}" '
+            f'x2="{x2 * size:.1f}" y2="{y2 * size:.1f}" '
+            'stroke="#999999" stroke-width="0.4" stroke-opacity="0.35"/>'
+        )
+        drawn += 1
+    if truncated:
+        parts.append(f"<!-- edge rendering truncated at {max_edges} -->")
+
+    for u, (x, y) in positions.items():
+        if not graph.has_node(u):
+            continue
+        radius = 1.0 + 0.6 * math.sqrt(max(graph.degree(u), 1))
+        parts.append(
+            f'<circle cx="{x * size:.1f}" cy="{y * size:.1f}" '
+            f'r="{min(radius, 8.0):.1f}" fill="black" fill-opacity="0.85"/>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(
+    graph: MultiGraph,
+    positions: dict[Node, Position],
+    path: str | os.PathLike,
+    size: int = 800,
+    title: str | None = None,
+) -> None:
+    """Render and write an SVG portrait to ``path``."""
+    document = render_svg(graph, positions, size=size, title=title)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(document)

@@ -1,0 +1,69 @@
+"""Tests for the estimator-convergence study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.convergence import (
+    ESTIMATOR_COLUMNS,
+    estimator_convergence,
+    format_convergence,
+)
+
+
+class TestConvergenceStudy:
+    @pytest.fixture(scope="class")
+    def points(self, request):
+        social = request.getfixturevalue("social_graph")
+        return estimator_convergence(
+            fractions=(0.1, 0.5, 0.9), runs=2, seed=1, original=social
+        )
+
+    @pytest.fixture(scope="class")
+    def social_graph(self):
+        from repro.graph.generators import powerlaw_cluster_graph
+
+        return powerlaw_cluster_graph(120, 3, 0.4, rng=42)
+
+    def test_point_shape(self, points):
+        assert len(points) == 3
+        for p in points:
+            assert set(p.errors) == set(ESTIMATOR_COLUMNS)
+            assert p.mean_walk_length > 0
+
+    def test_errors_shrink_with_budget(self, points):
+        first, last = points[0], points[-1]
+        improved = sum(
+            1 for c in ESTIMATOR_COLUMNS if last.errors[c] <= first.errors[c] + 0.02
+        )
+        assert improved >= 4
+
+    def test_walk_length_grows(self, points):
+        lengths = [p.mean_walk_length for p in points]
+        assert lengths == sorted(lengths)
+
+    def test_format(self, points):
+        text = format_convergence(points, title="t")
+        assert text.startswith("# t")
+        assert "% queried" in text
+        assert text.count("\n") == 4  # title + header + 3 rows
+
+    def test_cli_command(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "convergence",
+                "--dataset",
+                "anybeat",
+                "--scale",
+                "0.12",
+                "--runs",
+                "1",
+                "--fractions",
+                "0.1,0.3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimator convergence" in out

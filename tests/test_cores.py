@@ -1,0 +1,80 @@
+"""Tests for the k-core decomposition, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graph.convert import to_networkx_simple
+from repro.graph.multigraph import MultiGraph
+from repro.metrics.cores import (
+    core_numbers,
+    core_size_distribution,
+    degeneracy,
+    periphery_fraction,
+)
+
+
+class TestCoreNumbers:
+    def test_complete_graph(self, k4):
+        assert set(core_numbers(k4).values()) == {3}
+
+    def test_star(self, star5):
+        cores = core_numbers(star5)
+        assert cores[0] == 1
+        assert all(cores[v] == 1 for v in range(1, 6))
+
+    def test_cycle(self, cycle6):
+        assert set(core_numbers(cycle6).values()) == {2}
+
+    def test_isolated_node_core_zero(self):
+        g = MultiGraph.from_edges([(0, 1)], nodes=[9])
+        assert core_numbers(g)[9] == 0
+
+    def test_matches_networkx(self, social_graph):
+        ours = core_numbers(social_graph)
+        theirs = nx.core_number(to_networkx_simple(social_graph))
+        assert ours == theirs
+
+    def test_loops_and_parallels_ignored(self):
+        g = MultiGraph.from_edges([(0, 1), (0, 1), (1, 1), (1, 2), (2, 0)])
+        cores = core_numbers(g)
+        assert cores == {0: 2, 1: 2, 2: 2}
+
+    def test_empty(self):
+        assert core_numbers(MultiGraph()) == {}
+
+
+class TestSummaries:
+    def test_degeneracy_matches_networkx(self, social_graph):
+        theirs = max(nx.core_number(to_networkx_simple(social_graph)).values())
+        assert degeneracy(social_graph) == theirs
+
+    def test_core_size_distribution_totals(self, social_graph):
+        dist = core_size_distribution(social_graph)
+        assert sum(dist.values()) == social_graph.num_nodes
+
+    def test_periphery_fraction_star(self, star5):
+        # every node has core number 1 in a star
+        assert periphery_fraction(star5) == pytest.approx(1.0)
+
+    def test_periphery_fraction_complete(self, k4):
+        assert periphery_fraction(k4) == 0.0
+
+    def test_periphery_fraction_empty(self):
+        assert periphery_fraction(MultiGraph()) == 0.0
+
+    def test_subgraph_sampling_loses_periphery(self, social_graph):
+        """The Figure-4 contrast quantified: a crawled subgraph's periphery
+        fraction differs from the original's restored census."""
+        from repro.sampling.access import GraphAccess
+        from repro.sampling.subgraph import build_subgraph
+        from repro.sampling.walkers import random_walk
+
+        walk = random_walk(GraphAccess(social_graph), 30, rng=1)
+        sub = build_subgraph(walk)
+        # the crawled subgraph is dominated by degree-1 visible nodes, so
+        # its periphery measurement is distorted relative to the original
+        assert periphery_fraction(sub.graph) != pytest.approx(
+            periphery_fraction(social_graph), abs=0.02
+        )

@@ -1,0 +1,71 @@
+"""Tests for the restoration diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimators.local import exact_local_properties
+from repro.graph.datasets import load_dataset
+from repro.metrics.basic import degree_vector, joint_degree_matrix
+from repro.restore.diagnostics import (
+    composition,
+    format_diagnostics,
+    target_deviation,
+)
+from repro.restore.restorer import restore_from_walk
+from repro.sampling.access import GraphAccess
+from repro.sampling.walkers import random_walk
+
+
+@pytest.fixture(scope="module")
+def result():
+    g = load_dataset("anybeat", scale=0.4)
+    walk = random_walk(GraphAccess(g), g.num_nodes // 8, rng=51)
+    return restore_from_walk(walk, rc=3, rng=51)
+
+
+class TestTargetDeviation:
+    def test_exact_targets_have_zero_deviation(self, social_graph):
+        est = exact_local_properties(social_graph)
+        dv = degree_vector(social_graph)
+        jdm = joint_degree_matrix(social_graph)
+        dev = target_deviation(est, dv, jdm)
+        assert dev.degree_vector_l1 == pytest.approx(0.0, abs=1e-9)
+        assert dev.jdm_l1 == pytest.approx(0.0, abs=1e-9)
+        assert dev.node_count_drift == pytest.approx(0.0, abs=1e-9)
+        assert dev.edge_count_drift == pytest.approx(0.0, abs=1e-9)
+
+    def test_pipeline_deviation_is_bounded(self, result):
+        dev = target_deviation(
+            result.estimates, result.degree_targets.counts, result.jdm_targets
+        )
+        # realizability repair should not distort the targets wholesale
+        assert dev.degree_vector_l1 < 1.0
+        assert abs(dev.node_count_drift) < 0.5
+
+    def test_deviation_detects_manual_distortion(self, result):
+        distorted = dict(result.degree_targets.counts)
+        k = next(iter(distorted))
+        distorted[k] += 1000
+        dev_before = target_deviation(
+            result.estimates, result.degree_targets.counts, result.jdm_targets
+        )
+        dev_after = target_deviation(result.estimates, distorted, result.jdm_targets)
+        assert dev_after.degree_vector_l1 > dev_before.degree_vector_l1
+
+
+class TestComposition:
+    def test_census_adds_up(self, result):
+        comp = composition(result)
+        assert comp.observed_nodes + comp.added_nodes == result.graph.num_nodes
+        assert comp.observed_edges + comp.added_edges == result.graph.num_edges
+        assert 0.0 < comp.observed_edge_fraction < 1.0
+        assert 0.0 < comp.observed_node_fraction < 1.0
+
+    def test_format(self, result):
+        dev = target_deviation(
+            result.estimates, result.degree_targets.counts, result.jdm_targets
+        )
+        text = format_diagnostics(dev, composition(result))
+        assert "degree vector L1" in text
+        assert "observed" in text

@@ -1,0 +1,195 @@
+"""Edge-case and failure-injection tests across modules."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dk.dk_series import generate_2k
+from repro.dk.rewiring import RewiringEngine
+from repro.errors import RealizabilityError
+from repro.estimators.local import LocalEstimates
+from repro.graph.multigraph import MultiGraph
+from repro.metrics.basic import degree_vector, joint_degree_matrix
+from repro.metrics.clustering import degree_dependent_clustering
+from repro.restore.target_degree_vector import build_target_degree_vector
+from repro.restore.target_jdm import build_target_jdm
+from repro.sampling.access import GraphAccess
+from repro.sampling.walkers import SamplingList, random_walk
+
+
+def _hand_estimates(n, kbar, pk, pkk=None, ck=None) -> LocalEstimates:
+    return LocalEstimates(
+        num_nodes=n,
+        average_degree=kbar,
+        degree_distribution=pk,
+        joint_degree_distribution=pkk or {},
+        degree_clustering=ck or {},
+        walk_length=100,
+    )
+
+
+class TestRewiringFlags:
+    def test_allow_loops_and_parallels_still_preserves_2k(self, social_graph):
+        g = generate_2k(social_graph, rng=1)
+        dv = degree_vector(g)
+        jdm = joint_degree_matrix(g)
+        engine = RewiringEngine(
+            g,
+            degree_dependent_clustering(social_graph),
+            forbid_loops=False,
+            forbid_parallel=False,
+            rng=2,
+        )
+        engine.run(rc=15)
+        # the equal-degree swap preserves degrees and the JDM even when the
+        # proposal may create loops or parallel edges
+        assert degree_vector(g) == dv
+        assert joint_degree_matrix(g) == jdm
+
+    def test_incremental_state_consistent_with_multiedges(self, social_graph):
+        g = generate_2k(social_graph, rng=3)
+        engine = RewiringEngine(
+            g,
+            degree_dependent_clustering(social_graph),
+            forbid_loops=False,
+            forbid_parallel=False,
+            rng=4,
+        )
+        engine.run(rc=15)
+        fresh = degree_dependent_clustering(g)
+        tracked = engine.clustering_by_degree()
+        for k, v in fresh.items():
+            assert tracked[k] == pytest.approx(v, abs=1e-9)
+
+    def test_single_candidate_cannot_rewire(self):
+        g = MultiGraph.from_edges([(0, 1), (1, 2)])
+        engine = RewiringEngine(g, {1: 0.5, 2: 0.5}, rng=5)
+        report = engine.run(rc=100)
+        assert report.accepted == 0
+
+
+class TestSamplingEdgeCases:
+    def test_sampling_list_record_keeps_first_adjacency(self):
+        walk = SamplingList()
+        walk.record(0, [1, 2])
+        walk.record(0, [9])  # second visit must not overwrite
+        assert walk.neighbors[0] == [1, 2]
+        assert walk.length == 2
+
+    def test_walk_max_steps_is_respected(self, social_graph):
+        from repro.errors import SamplingError
+
+        with pytest.raises(SamplingError):
+            random_walk(GraphAccess(social_graph), 10**6, rng=1, max_steps=50)
+
+    def test_access_seed_deterministic(self, social_graph):
+        access = GraphAccess(social_graph)
+        assert access.random_seed(7) == access.random_seed(7)
+
+    def test_repeat_query_free_under_budget(self, social_graph):
+        access = GraphAccess(social_graph, budget=1)
+        node = next(iter(social_graph.nodes()))
+        for _ in range(5):
+            access.query(node)
+        assert access.num_queried == 1
+
+
+class TestTargetEdgeCases:
+    def test_jdm_pairs_beyond_k_max_are_dropped(self):
+        # joint estimate mentions degree 50, degree estimate tops out at 3:
+        # pairs above k*_max must be filtered, conditions still hold
+        est = _hand_estimates(
+            10, 2.0, {2: 0.5, 3: 0.5},
+            pkk={(2, 3): 0.4, (3, 2): 0.4, (50, 2): 0.1, (2, 50): 0.1},
+        )
+        targets = build_target_degree_vector(est, rng=1)
+        jdm = build_target_jdm(est, targets, rng=1)
+        assert all(k <= targets.k_max and kp <= targets.k_max for k, kp in jdm)
+
+    def test_degenerate_single_degree_class(self):
+        est = _hand_estimates(6, 3.0, {3: 1.0}, pkk={(3, 3): 1.0})
+        targets = build_target_degree_vector(est, rng=2)
+        jdm = build_target_jdm(est, targets, rng=2)
+        from repro.dk.joint_degree_matrix import check_joint_degree_matrix
+
+        check_joint_degree_matrix(jdm, targets.counts)
+
+    def test_no_joint_observations_still_consistent(self):
+        # degree estimates without any joint pairs: the adjuster must build
+        # the whole JDM from scratch via class-1 fine adjustment
+        est = _hand_estimates(8, 2.5, {2: 0.5, 3: 0.5}, pkk={})
+        targets = build_target_degree_vector(est, rng=3)
+        jdm = build_target_jdm(est, targets, rng=3)
+        from repro.dk.joint_degree_matrix import check_joint_degree_matrix
+
+        check_joint_degree_matrix(jdm, targets.counts)
+
+    def test_all_mass_on_degree_one(self):
+        est = _hand_estimates(4, 1.0, {1: 1.0}, pkk={(1, 1): 1.0})
+        targets = build_target_degree_vector(est, rng=4)
+        jdm = build_target_jdm(est, targets, rng=4)
+        assert targets.degree_sum() % 2 == 0
+        assert jdm.get((1, 1), 0) * 2 == targets.degree_sum()
+
+    def test_zero_nodes_estimate_rejected(self):
+        est = _hand_estimates(0.0, 0.0, {})
+        with pytest.raises(RealizabilityError):
+            build_target_degree_vector(est)
+
+
+class TestMetricsEdgeCases:
+    def test_l1_inf_propagates_to_average(self):
+        from repro.metrics.distance import normalized_l1
+
+        assert normalized_l1({}, {1: 1.0}) == math.inf
+        assert normalized_l1(0.0, 5.0) == math.inf
+
+    def test_eval_config_caps_at_graph_size(self, triangle):
+        from repro.metrics.suite import EvaluationConfig
+
+        cfg = EvaluationConfig(exact_threshold=0, path_sources=999, betweenness_pivots=999)
+        assert cfg.sources_for(triangle) == 3
+        assert cfg.pivots_for(triangle) == 3
+
+    def test_neighbor_connectivity_with_loop(self):
+        from repro.metrics.basic import neighbor_connectivity
+
+        g = MultiGraph()
+        g.add_edge(0, 0)  # degree 2 via the loop; A_00 = 2
+        knn = neighbor_connectivity(g)
+        # knn(2) = (1/2) * A_00 * d_0 / ... = (2 * 2) / 2 = 2
+        assert knn[2] == pytest.approx(2.0)
+
+    def test_betweenness_disconnected_zero_outside_lcc(self):
+        from repro.metrics.betweenness import betweenness_centrality
+
+        g = MultiGraph.from_edges([(0, 1), (1, 2), (9, 10)])
+        b = betweenness_centrality(g)
+        assert b.get(9, 0.0) == 0.0
+
+
+class TestConstructionEdgeCases:
+    def test_fresh_ids_do_not_collide_with_subgraph(self, social_graph):
+        from repro.dk.construction import build_graph_from_targets
+        from repro.sampling.subgraph import build_subgraph
+
+        walk = random_walk(GraphAccess(social_graph), 20, rng=6)
+        sub = build_subgraph(walk)
+        dv = degree_vector(social_graph)
+        jdm = joint_degree_matrix(social_graph)
+        targets = {u: social_graph.degree(u) for u in sub.graph.nodes()}
+        g = build_graph_from_targets(
+            dv, jdm, rng=7, subgraph=sub, target_degrees=targets
+        )
+        added = set(g.nodes()) - set(sub.graph.nodes())
+        assert added  # some nodes were added
+        assert max(sub.graph.nodes()) < min(added)
+
+    def test_empty_targets_give_empty_graph(self):
+        from repro.dk.construction import build_graph_from_targets
+
+        g = build_graph_from_targets({}, {}, rng=8)
+        assert g.num_nodes == 0
+        assert g.num_edges == 0

@@ -1,0 +1,85 @@
+"""Tests for the extra estimators and batch-means uncertainty."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators.average_degree import estimate_average_degree
+from repro.estimators.extras import (
+    BatchEstimate,
+    batch_means,
+    estimate_global_clustering,
+    estimate_num_edges,
+    estimate_triangle_count,
+)
+from repro.graph.generators import complete_graph
+from repro.metrics.clustering import network_clustering, triangles_per_node
+from repro.sampling.access import GraphAccess
+from repro.sampling.walkers import random_walk
+
+
+class TestEdgeCount:
+    def test_convergence(self, social_graph, long_walk):
+        m_hat = estimate_num_edges(long_walk)
+        assert m_hat == pytest.approx(social_graph.num_edges, rel=0.4)
+
+
+class TestGlobalClustering:
+    def test_bounded(self, long_walk):
+        c = estimate_global_clustering(long_walk)
+        assert 0.0 <= c <= 1.0
+
+    def test_convergence(self, social_graph, long_walk):
+        c_hat = estimate_global_clustering(long_walk)
+        truth = network_clustering(social_graph)
+        assert c_hat == pytest.approx(truth, abs=0.25)
+
+    def test_complete_graph_is_one(self):
+        g = complete_graph(7)
+        walk = random_walk(GraphAccess(g), 7, rng=1, max_steps=5000)
+        # pad the walk for stability
+        walk2 = random_walk(GraphAccess(g), 7, rng=2, max_steps=5000)
+        c = estimate_global_clustering(walk if walk.length > walk2.length else walk2)
+        assert c == pytest.approx(1.0, abs=0.35)
+
+
+class TestTriangleCount:
+    def test_convergence(self, social_graph, long_walk):
+        t_hat = estimate_triangle_count(long_walk)
+        truth = sum(triangles_per_node(social_graph).values()) / 3.0
+        assert t_hat == pytest.approx(truth, rel=0.6)
+
+    def test_nonnegative(self, long_walk):
+        assert estimate_triangle_count(long_walk) >= 0.0
+
+
+class TestBatchMeans:
+    def test_interval_contains_truth(self, social_graph, long_walk):
+        est = batch_means(long_walk, estimate_average_degree, num_batches=8)
+        lo, hi = est.confidence_interval(z=3.0)
+        assert lo <= social_graph.average_degree() <= hi
+
+    def test_point_matches_full_walk(self, long_walk):
+        est = batch_means(long_walk, estimate_average_degree, num_batches=5)
+        assert est.value == pytest.approx(estimate_average_degree(long_walk))
+
+    def test_standard_error_positive(self, long_walk):
+        est = batch_means(long_walk, estimate_average_degree, num_batches=5)
+        assert est.standard_error > 0.0
+        assert est.num_batches == 5
+
+    def test_too_few_batches_rejected(self, long_walk):
+        with pytest.raises(EstimationError):
+            batch_means(long_walk, estimate_average_degree, num_batches=1)
+
+    def test_walk_too_short_rejected(self, social_graph):
+        walk = random_walk(GraphAccess(social_graph), 5, rng=3)
+        with pytest.raises(EstimationError):
+            batch_means(walk, estimate_average_degree, num_batches=walk.length)
+
+    def test_batch_estimate_interval_symmetry(self):
+        est = BatchEstimate(value=10.0, standard_error=1.0, num_batches=4)
+        lo, hi = est.confidence_interval()
+        assert lo == pytest.approx(10.0 - 1.96)
+        assert hi == pytest.approx(10.0 + 1.96)

@@ -1,0 +1,236 @@
+"""Tests for the re-weighted random-walk estimators.
+
+Two styles: exact brute-force checks of the index machinery on tiny walks,
+and statistical convergence checks on near-exhaustive walks (deterministic
+seeds; tolerances sized for the walk lengths used).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators.average_degree import estimate_average_degree
+from repro.estimators.clustering import estimate_degree_clustering
+from repro.estimators.degree_distribution import estimate_degree_distribution
+from repro.estimators.joint_degree import (
+    estimate_joint_degree_distribution,
+    induced_edges_estimate,
+    traversed_edges_estimate,
+)
+from repro.estimators.local import (
+    estimate_local_properties,
+    exact_local_properties,
+    mu,
+)
+from repro.estimators.node_count import estimate_num_nodes
+from repro.estimators.walk_index import WalkIndex
+from repro.graph.generators import complete_graph
+from repro.metrics.basic import degree_distribution, joint_degree_distribution
+from repro.metrics.clustering import degree_dependent_clustering
+from repro.metrics.distance import normalized_l1
+from repro.sampling.access import GraphAccess
+from repro.sampling.walkers import SamplingList, random_walk
+
+
+def _walk_from_sequence(graph, nodes):
+    """Build a SamplingList from an explicit node sequence on ``graph``."""
+    walk = SamplingList()
+    for u in nodes:
+        walk.record(u, graph.incident_edge_endpoints(u))
+    return walk
+
+
+class TestWalkIndex:
+    def test_too_short_walk_rejected(self, triangle):
+        walk = _walk_from_sequence(triangle, [0, 1])
+        with pytest.raises(EstimationError):
+            WalkIndex(walk)
+
+    def test_gap_floor_is_one(self, triangle):
+        walk = _walk_from_sequence(triangle, [0, 1, 2, 0, 1])
+        assert WalkIndex(walk).gap == 1
+
+    def test_num_far_pairs_matches_bruteforce(self, triangle):
+        walk = _walk_from_sequence(triangle, [0, 1, 2, 0, 1, 2, 0, 1])
+        for frac in (0.0, 0.2, 0.4):
+            index = WalkIndex(walk, gap_fraction=frac) if frac else WalkIndex(walk)
+            m = index.gap
+            r = index.r
+            brute = sum(
+                1
+                for i in range(r)
+                for j in range(r)
+                if abs(i - j) >= m
+            )
+            assert index.num_far_pairs == brute
+
+    def test_collision_pairs_match_bruteforce(self, triangle):
+        seq = [0, 1, 0, 2, 0, 1, 1, 2, 0]
+        walk = _walk_from_sequence(triangle, seq)
+        index = WalkIndex(walk, gap_fraction=0.3)
+        m = index.gap
+        brute = sum(
+            1
+            for i in range(len(seq))
+            for j in range(len(seq))
+            if abs(i - j) >= m and seq[i] == seq[j]
+        )
+        assert index.far_collision_pairs() == brute
+
+    def test_far_ordered_pair_count_matches_bruteforce(self, triangle):
+        seq = [0, 1, 2, 1, 0, 2, 1, 0]
+        walk = _walk_from_sequence(triangle, seq)
+        index = WalkIndex(walk, gap_fraction=0.3)
+        m = index.gap
+        for u in (0, 1, 2):
+            for v in (0, 1, 2):
+                if u == v:
+                    continue
+                brute = sum(
+                    1
+                    for i in range(len(seq))
+                    for j in range(len(seq))
+                    if seq[i] == u and seq[j] == v and abs(i - j) >= m
+                )
+                assert index.far_ordered_pair_count(u, v) == brute
+
+    def test_adjacent(self, paper_example):
+        walk = _walk_from_sequence(paper_example, [1, 3, 6, 3])
+        index = WalkIndex(walk)
+        assert index.adjacent(1, 3)
+        assert not index.adjacent(1, 6)
+
+
+class TestNodeCount:
+    def test_exact_on_uniform_complete_graph_walk(self):
+        # on K4 every node has degree 3: the ratio sum is |I| and the
+        # estimator reduces to |I| / collisions
+        g = complete_graph(4)
+        walk = random_walk(GraphAccess(g), 4, rng=0, max_steps=500)
+        n_hat = estimate_num_nodes(walk)
+        assert n_hat > 0
+
+    def test_convergence(self, social_graph, long_walk):
+        n_hat = estimate_num_nodes(long_walk)
+        assert n_hat == pytest.approx(social_graph.num_nodes, rel=0.35)
+
+    def test_zero_collision_fallback(self, paper_example):
+        walk = _walk_from_sequence(paper_example, [1, 3, 6, 8])  # no repeats
+        n_hat = estimate_num_nodes(walk, zero_collision_fallback=True)
+        assert math.isfinite(n_hat)
+        with pytest.raises(EstimationError):
+            estimate_num_nodes(walk, zero_collision_fallback=False)
+
+
+class TestAverageDegree:
+    def test_exact_on_regular_graph(self):
+        g = complete_graph(5)  # 4-regular
+        walk = random_walk(GraphAccess(g), 5, rng=1, max_steps=500)
+        assert estimate_average_degree(walk) == pytest.approx(4.0)
+
+    def test_convergence(self, social_graph, long_walk):
+        k_hat = estimate_average_degree(long_walk)
+        assert k_hat == pytest.approx(social_graph.average_degree(), rel=0.15)
+
+
+class TestDegreeDistribution:
+    def test_sums_to_one(self, long_walk):
+        est = estimate_degree_distribution(long_walk)
+        assert sum(est.values()) == pytest.approx(1.0)
+
+    def test_only_observed_degrees(self, long_walk):
+        observed = set(long_walk.degree_sequence())
+        est = estimate_degree_distribution(long_walk)
+        assert set(est) == observed
+
+    def test_convergence(self, social_graph, long_walk):
+        est = estimate_degree_distribution(long_walk)
+        truth = degree_distribution(social_graph)
+        assert normalized_l1(truth, est) < 0.30
+
+
+class TestJointDegree:
+    def test_te_symmetric_and_normalized(self, long_walk):
+        te = traversed_edges_estimate(long_walk)
+        for (k, kp), v in te.items():
+            assert te[(kp, k)] == pytest.approx(v)
+        assert sum(te.values()) == pytest.approx(1.0)
+
+    def test_ie_symmetric(self, long_walk):
+        ie = induced_edges_estimate(long_walk)
+        for (k, kp), v in ie.items():
+            assert ie[(kp, k)] == pytest.approx(v)
+
+    def test_hybrid_rule(self, long_walk):
+        index = WalkIndex(long_walk)
+        k_hat = estimate_average_degree(index)
+        hybrid = estimate_joint_degree_distribution(index, k_hat=k_hat)
+        te = traversed_edges_estimate(index)
+        for (k, kp), v in hybrid.items():
+            if k + kp < 2 * k_hat:
+                assert v == pytest.approx(te[(k, kp)])
+
+    def test_convergence(self, social_graph, long_walk):
+        est = estimate_joint_degree_distribution(long_walk)
+        truth = joint_degree_distribution(social_graph)
+        assert normalized_l1(truth, est) < 0.8
+
+    def test_mu(self):
+        assert mu(3, 3) == 2
+        assert mu(3, 4) == 1
+
+
+class TestClusteringEstimator:
+    def test_degree_one_is_zero(self, long_walk):
+        est = estimate_degree_clustering(long_walk)
+        if 1 in est:
+            assert est[1] == 0.0
+
+    def test_bounded_by_one(self, long_walk):
+        est = estimate_degree_clustering(long_walk)
+        assert all(0.0 <= v <= 1.0 for v in est.values())
+
+    def test_complete_graph_fully_clustered(self):
+        # long synthetic walk on K6: the estimator must converge to 1.0
+        # (the (k-1) vs k correction exactly offsets the prev==next misses)
+        import random as _random
+
+        g = complete_graph(6)
+        r = _random.Random(2)
+        nodes = [0]
+        for _ in range(4000):
+            nodes.append(r.choice([v for v in range(6) if v != nodes[-1]]))
+        walk = _walk_from_sequence(g, nodes)
+        est = estimate_degree_clustering(walk)
+        assert est[5] == pytest.approx(1.0, abs=0.05)
+
+    def test_convergence(self, social_graph, long_walk):
+        est = estimate_degree_clustering(long_walk)
+        truth = degree_dependent_clustering(social_graph)
+        assert normalized_l1(truth, est) < 0.9
+
+
+class TestLocalEstimates:
+    def test_bundle_is_consistent(self, long_walk):
+        est = estimate_local_properties(long_walk)
+        assert est.num_nodes == pytest.approx(estimate_num_nodes(long_walk), rel=1e-9)
+        assert est.walk_length == long_walk.length
+        assert est.max_observed_degree() == max(long_walk.degree_sequence())
+
+    def test_derived_quantities(self, long_walk):
+        est = estimate_local_properties(long_walk)
+        k = est.max_observed_degree()
+        assert est.n_of_degree(k) == pytest.approx(est.num_nodes * est.p_degree(k))
+        assert est.p_degree(10_000) == 0.0
+        assert est.p_joint(10_000, 3) == 0.0
+        assert est.clustering(10_000) == 0.0
+
+    def test_exact_local_properties(self, social_graph):
+        exact = exact_local_properties(social_graph)
+        assert exact.num_nodes == social_graph.num_nodes
+        assert exact.average_degree == pytest.approx(social_graph.average_degree())
+        assert sum(exact.degree_distribution.values()) == pytest.approx(1.0)
+        assert sum(exact.joint_degree_distribution.values()) == pytest.approx(1.0)

@@ -1,0 +1,72 @@
+"""Tests for the extension features: early-stop rewiring and NBRW-driven
+restoration (the paper's flagged future-work combinations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dk.dk_series import generate_2k
+from repro.dk.rewiring import RewiringEngine
+from repro.graph.datasets import load_dataset
+from repro.metrics.basic import degree_vector, joint_degree_matrix
+from repro.metrics.clustering import degree_dependent_clustering
+from repro.restore.restorer import restore_graph
+from repro.sampling.access import GraphAccess
+
+
+class TestEarlyStopRewiring:
+    def test_patience_stops_early(self, social_graph):
+        g = generate_2k(social_graph, rng=1)
+        target = degree_dependent_clustering(social_graph)
+        engine = RewiringEngine(g, target, rng=2)
+        report = engine.run(rc=10_000, patience=200)
+        # a 10k x |candidates| budget would be millions of attempts; the
+        # stagnation rule must cut it far shorter
+        assert report.attempts < 10_000 * engine.num_candidates
+
+    def test_patience_preserves_invariants(self, social_graph):
+        g = generate_2k(social_graph, rng=3)
+        dv = degree_vector(g)
+        jdm = joint_degree_matrix(g)
+        engine = RewiringEngine(g, degree_dependent_clustering(social_graph), rng=4)
+        engine.run(rc=50, patience=100)
+        assert degree_vector(g) == dv
+        assert joint_degree_matrix(g) == jdm
+
+    def test_no_patience_runs_full_budget(self, social_graph):
+        g = generate_2k(social_graph, rng=5)
+        engine = RewiringEngine(
+            g, degree_dependent_clustering(social_graph), rng=6
+        )
+        report = engine.run(rc=2)
+        assert report.attempts == int(2 * report.num_candidates)
+
+
+class TestWalkerChoice:
+    @pytest.fixture(scope="class")
+    def hidden(self):
+        return load_dataset("anybeat", scale=0.3)
+
+    def test_non_backtracking_restoration(self, hidden):
+        access = GraphAccess(hidden)
+        result = restore_graph(
+            access, hidden.num_nodes // 8, rc=5, rng=7, walker="non_backtracking"
+        )
+        assert result.graph.num_nodes > 0
+        for u, v in result.subgraph.graph.edges():
+            assert result.graph.has_edge(u, v)
+
+    def test_nbrw_queries_more_efficiently(self, hidden):
+        # with the same budget, NBRW needs no more steps than the simple walk
+        # on average; check it at least completes within a similar length
+        a1 = GraphAccess(hidden)
+        r1 = restore_graph(a1, hidden.num_nodes // 8, rc=2, rng=8, walker="simple")
+        a2 = GraphAccess(hidden)
+        r2 = restore_graph(
+            a2, hidden.num_nodes // 8, rc=2, rng=8, walker="non_backtracking"
+        )
+        assert r2.estimates.walk_length <= r1.estimates.walk_length * 1.5
+
+    def test_unknown_walker_rejected(self, hidden):
+        with pytest.raises(ValueError):
+            restore_graph(GraphAccess(hidden), 10, walker="levy_flight")

@@ -1,0 +1,66 @@
+"""Tests for frontier sampling (multidimensional random walk)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.estimators.average_degree import estimate_average_degree
+from repro.estimators.degree_distribution import estimate_degree_distribution
+from repro.graph.multigraph import MultiGraph
+from repro.metrics.basic import degree_distribution
+from repro.metrics.distance import normalized_l1
+from repro.sampling.access import GraphAccess
+from repro.sampling.frontier import frontier_sampling
+
+
+class TestFrontierSampling:
+    def test_reaches_target(self, social_graph):
+        access = GraphAccess(social_graph)
+        walk = frontier_sampling(access, 40, dimension=4, rng=1)
+        assert access.num_queried >= 40
+        assert len(walk.distinct_nodes) >= 40
+
+    def test_dimension_one_behaves_like_simple_walk(self, social_graph):
+        access = GraphAccess(social_graph)
+        walk = frontier_sampling(access, 30, dimension=1, rng=2)
+        # every consecutive pair after the seed is graph-adjacent
+        for i in range(1, walk.length - 1):
+            u, v = walk.nodes[i], walk.nodes[i + 1]
+            assert social_graph.has_edge(u, v) or u == v
+
+    def test_explicit_seeds_respected(self, social_graph):
+        seeds = list(social_graph.nodes())[:3]
+        access = GraphAccess(social_graph)
+        walk = frontier_sampling(access, 20, dimension=3, seeds=seeds, rng=3)
+        assert walk.nodes[:3] == seeds
+
+    def test_covers_disconnected_components(self):
+        # two components: the simple walk is trapped in one; frontier
+        # sampling with enough walkers reaches both
+        g = MultiGraph.from_edges(
+            [(0, 1), (1, 2), (2, 0), (10, 11), (11, 12), (12, 10)]
+        )
+        access = GraphAccess(g)
+        walk = frontier_sampling(
+            access, 6, dimension=6, seeds=[0, 1, 2, 10, 11, 12], rng=4
+        )
+        assert {0, 1, 2, 10, 11, 12} <= walk.distinct_nodes
+
+    def test_invalid_dimension(self, social_graph):
+        with pytest.raises(SamplingError):
+            frontier_sampling(GraphAccess(social_graph), 5, dimension=0)
+
+    def test_isolated_seed_rejected(self):
+        g = MultiGraph.from_edges([(0, 1)], nodes=[9])
+        with pytest.raises(SamplingError):
+            frontier_sampling(GraphAccess(g), 2, dimension=1, seeds=[9], rng=5)
+
+    def test_estimators_apply(self, social_graph):
+        access = GraphAccess(social_graph)
+        walk = frontier_sampling(access, 110, dimension=8, rng=6)
+        k_hat = estimate_average_degree(walk)
+        assert k_hat == pytest.approx(social_graph.average_degree(), rel=0.25)
+        pk = estimate_degree_distribution(walk)
+        truth = degree_distribution(social_graph)
+        assert normalized_l1(truth, pk) < 0.45

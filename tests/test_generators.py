@@ -1,0 +1,204 @@
+"""Tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.components import is_connected
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    community_social_graph,
+    complete_graph,
+    configuration_model,
+    cycle_graph,
+    empty_graph,
+    expected_powerlaw_mean_degree,
+    gnm_random_graph,
+    planted_partition_graph,
+    powerlaw_cluster_graph,
+    powerlaw_degree_sequence,
+    relabel_shuffled,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.metrics.clustering import network_clustering
+
+
+class TestBasicShapes:
+    def test_empty_graph(self):
+        g = empty_graph(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+        assert all(g.degree(u) == 4 for u in g.nodes())
+
+    def test_cycle_graph(self):
+        g = cycle_graph(7)
+        assert g.num_edges == 7
+        assert all(g.degree(u) == 2 for u in g.nodes())
+
+    def test_cycle_too_small_raises(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_star_graph(self):
+        g = star_graph(4)
+        assert g.degree(0) == 4
+        assert g.num_edges == 4
+
+
+class TestGnm:
+    def test_exact_edge_count_and_simplicity(self):
+        g = gnm_random_graph(30, 80, rng=3)
+        assert g.num_nodes == 30
+        assert g.num_edges == 80
+        assert g.is_simple()
+
+    def test_infeasible_raises(self):
+        with pytest.raises(GraphError):
+            gnm_random_graph(4, 7)
+
+    def test_deterministic_under_seed(self):
+        a = gnm_random_graph(20, 40, rng=9)
+        b = gnm_random_graph(20, 40, rng=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert_graph(100, 3, rng=1)
+        # m seed edges + m per arrival
+        assert g.num_edges == 3 + 3 * (100 - 4)
+        assert g.is_simple()
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert_graph(80, 2, rng=2))
+
+    def test_heavy_tail(self):
+        g = barabasi_albert_graph(400, 2, rng=5)
+        assert g.max_degree() >= 4 * g.average_degree()
+
+    def test_invalid_m_raises(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(5, 0)
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(5, 5)
+
+
+class TestPowerlawCluster:
+    def test_simple_and_connected(self):
+        g = powerlaw_cluster_graph(150, 3, 0.5, rng=4)
+        assert g.is_simple()
+        assert is_connected(g)
+
+    def test_triad_closure_raises_clustering(self):
+        plain = barabasi_albert_graph(300, 3, rng=6)
+        clustered = powerlaw_cluster_graph(300, 3, 0.7, rng=6)
+        assert network_clustering(clustered) > network_clustering(plain)
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(GraphError):
+            powerlaw_cluster_graph(10, 2, 1.5)
+
+
+class TestWattsStrogatz:
+    def test_degree_regular_at_zero_rewiring(self):
+        g = watts_strogatz_graph(20, 4, 0.0, rng=1)
+        assert all(g.degree(u) == 4 for u in g.nodes())
+
+    def test_edge_count_preserved_under_rewiring(self):
+        g = watts_strogatz_graph(40, 6, 0.3, rng=2)
+        assert g.num_edges == 40 * 3
+        assert g.is_simple()
+
+    def test_odd_k_raises(self):
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(10, 3, 0.1)
+
+
+class TestConfigurationModel:
+    def test_degree_sequence_realized_exactly(self):
+        degrees = [3, 3, 2, 2, 1, 1]
+        g = configuration_model(degrees, rng=3)
+        assert sorted(g.degrees().values(), reverse=True) == sorted(
+            degrees, reverse=True
+        )
+        assert g.num_edges == sum(degrees) // 2
+
+    def test_odd_sum_raises(self):
+        with pytest.raises(GraphError):
+            configuration_model([3, 2])
+
+    def test_negative_degree_raises(self):
+        with pytest.raises(GraphError):
+            configuration_model([2, -1, 1])
+
+
+class TestPowerlawSequence:
+    def test_bounds_and_even_sum(self):
+        seq = powerlaw_degree_sequence(500, 2.5, 2, 60, rng=8)
+        assert len(seq) == 500
+        assert min(seq) >= 2
+        assert max(seq) <= 61  # +1 possible from the parity fix
+        assert sum(seq) % 2 == 0
+
+    def test_mean_matches_expectation(self):
+        gamma, k_min, k_max = 2.5, 2, 50
+        seq = powerlaw_degree_sequence(20_000, gamma, k_min, k_max, rng=9)
+        expected = expected_powerlaw_mean_degree(gamma, k_min, k_max)
+        assert sum(seq) / len(seq) == pytest.approx(expected, rel=0.05)
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(GraphError):
+            powerlaw_degree_sequence(10, 2.0, 0, 5)
+        with pytest.raises(GraphError):
+            powerlaw_degree_sequence(10, 2.0, 6, 5)
+
+
+class TestCommunityGraph:
+    def test_shape(self):
+        g = community_social_graph(500, 4, 3, 0.4, 0.1, rng=10)
+        assert 400 <= g.num_nodes <= 600
+        assert g.average_degree() > 4
+
+    def test_clustered(self):
+        g = community_social_graph(400, 3, 3, 0.5, 0.08, rng=11)
+        assert network_clustering(g) > 0.05
+
+    def test_single_community(self):
+        g = community_social_graph(100, 1, 2, 0.3, 0.1, rng=12)
+        assert is_connected(g)
+
+    def test_zero_communities_raises(self):
+        with pytest.raises(GraphError):
+            community_social_graph(100, 0, 2, 0.3, 0.1)
+
+
+class TestPlantedPartition:
+    def test_block_density_ordering(self):
+        g = planted_partition_graph(60, 3, 0.5, 0.02, rng=13)
+        blocks = [u * 3 // 60 for u in range(60)]
+        intra = inter = 0
+        for u, v in g.edges():
+            if blocks[u] == blocks[v]:
+                intra += 1
+            else:
+                inter += 1
+        assert intra > inter
+
+    def test_invalid_probs_raise(self):
+        with pytest.raises(GraphError):
+            planted_partition_graph(10, 2, 0.1, 0.5)
+
+
+class TestRelabel:
+    def test_degree_multiset_invariant(self, social_graph):
+        shuffled = relabel_shuffled(social_graph, rng=14)
+        assert sorted(shuffled.degrees().values()) == sorted(
+            social_graph.degrees().values()
+        )
+        assert shuffled.num_edges == social_graph.num_edges

@@ -1,0 +1,81 @@
+"""Property-based tests for the extension modules (distributions, cleanup)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dk.cleanup import count_defects, simplify_preserving_jdm
+from repro.graph.multigraph import MultiGraph
+from repro.metrics.basic import degree_vector
+from repro.metrics.distributions import (
+    ccdf,
+    distribution_mean,
+    distribution_variance,
+    log_binned,
+)
+
+pmfs = st.dictionaries(
+    st.integers(1, 500), st.floats(0.001, 10.0), min_size=1, max_size=20
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 10), st.integers(0, 10)), min_size=1, max_size=40
+)
+
+
+@given(pmfs)
+@settings(max_examples=80)
+def test_ccdf_is_monotone_nonincreasing(pmf):
+    out = ccdf(pmf)
+    xs = sorted(out)
+    values = [out[x] for x in xs]
+    assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+    assert abs(values[0] - 1.0) < 1e-9  # smallest support point covers all
+
+
+@given(pmfs)
+@settings(max_examples=80)
+def test_ccdf_bounded(pmf):
+    for v in ccdf(pmf).values():
+        assert -1e-12 <= v <= 1.0 + 1e-9
+
+
+@given(pmfs)
+@settings(max_examples=60)
+def test_log_binned_centers_ascend(pmf):
+    bins = log_binned(pmf, bins_per_decade=4)
+    centers = [c for c, _ in bins]
+    assert centers == sorted(centers)
+    assert all(density >= 0 for _, density in bins)
+
+
+@given(pmfs)
+@settings(max_examples=80)
+def test_variance_nonnegative_and_mean_in_support_hull(pmf):
+    mu = distribution_mean(pmf)
+    assert min(pmf) - 1e-9 <= mu <= max(pmf) + 1e-9
+    assert distribution_variance(pmf) >= -1e-9
+
+
+@given(edge_lists, st.integers(0, 500))
+@settings(max_examples=30, deadline=None)
+def test_cleanup_never_increases_defects_and_keeps_degrees(edges, seed):
+    g = MultiGraph.from_edges(edges)
+    dv = degree_vector(g)
+    before = count_defects(g)
+    report = simplify_preserving_jdm(g, rng=seed, strict_jdm=False)
+    assert count_defects(g) == report.remaining_defects
+    assert report.remaining_defects <= before
+    assert degree_vector(g) == dv
+
+
+@given(edge_lists, st.integers(0, 500))
+@settings(max_examples=30, deadline=None)
+def test_strict_cleanup_preserves_jdm(edges, seed):
+    from repro.metrics.basic import joint_degree_matrix
+
+    g = MultiGraph.from_edges(edges)
+    jdm = joint_degree_matrix(g)
+    simplify_preserving_jdm(g, rng=seed, strict_jdm=True)
+    assert joint_degree_matrix(g) == jdm

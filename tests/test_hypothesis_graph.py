@@ -1,0 +1,85 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.components import connected_components
+from repro.graph.multigraph import MultiGraph
+from repro.graph.simplify import count_loops, count_multi_edges, simplified
+
+# strategy: a list of edges over a small id space, loops and parallels allowed
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)), min_size=0, max_size=60
+)
+
+
+def build(edges) -> MultiGraph:
+    return MultiGraph.from_edges(edges)
+
+
+@given(edge_lists)
+def test_handshake_identity(edges):
+    g = build(edges)
+    assert sum(g.degree(u) for u in g.nodes()) == 2 * g.num_edges
+
+
+@given(edge_lists)
+def test_edges_iteration_matches_count(edges):
+    g = build(edges)
+    assert len(list(g.edges())) == g.num_edges
+
+
+@given(edge_lists)
+def test_multiplicity_symmetric(edges):
+    g = build(edges)
+    for u in g.nodes():
+        for v in g.neighbors(u):
+            assert g.multiplicity(u, v) == g.multiplicity(v, u)
+
+
+@given(edge_lists)
+def test_copy_equivalence(edges):
+    g = build(edges)
+    c = g.copy()
+    assert sorted(map(repr, c.edges())) == sorted(map(repr, g.edges()))
+    assert c.degrees() == g.degrees()
+
+
+@given(edge_lists)
+def test_add_then_remove_is_identity(edges):
+    g = build(edges)
+    before_edges = sorted(map(repr, g.edges()))
+    g.add_edge(100, 101)
+    g.remove_edge(100, 101)
+    assert sorted(map(repr, g.edges())) == before_edges
+
+
+@given(edge_lists)
+def test_simplified_is_simple_and_loses_only_redundancy(edges):
+    g = build(edges)
+    s = simplified(g)
+    assert s.is_simple()
+    assert s.num_nodes == g.num_nodes
+    assert s.num_edges == g.num_edges - count_multi_edges(g) - count_loops(g)
+
+
+@given(edge_lists)
+@settings(max_examples=50)
+def test_components_partition_nodes(edges):
+    g = build(edges)
+    comps = connected_components(g)
+    seen = set()
+    for comp in comps:
+        assert not (comp & seen)
+        seen |= comp
+    assert seen == set(g.nodes())
+
+
+@given(edge_lists)
+@settings(max_examples=50)
+def test_component_sizes_descending(edges):
+    g = build(edges)
+    sizes = [len(c) for c in connected_components(g)]
+    assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,144 @@
+"""Property-based tests for metrics and the rewiring engine's invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dk.rewiring import RewiringEngine
+from repro.graph.multigraph import MultiGraph
+from repro.metrics.basic import (
+    degree_distribution,
+    degree_vector,
+    joint_degree_distribution,
+    joint_degree_matrix,
+)
+from repro.metrics.clustering import (
+    degree_dependent_clustering,
+    network_clustering,
+    shared_partner_distribution,
+    triangles_per_node,
+)
+from repro.metrics.distance import normalized_l1
+from repro.metrics.spectral import largest_eigenvalue
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 10), st.integers(0, 10)), min_size=1, max_size=40
+)
+
+simple_edge_lists = st.lists(
+    st.tuples(st.integers(0, 10), st.integers(0, 10)).filter(lambda e: e[0] != e[1]),
+    min_size=2,
+    max_size=40,
+    unique_by=lambda e: (min(e), max(e)),
+)
+
+
+@given(edge_lists)
+@settings(max_examples=60)
+def test_degree_distribution_normalized(edges):
+    g = MultiGraph.from_edges(edges)
+    dist = degree_distribution(g)
+    assert abs(sum(dist.values()) - 1.0) < 1e-9
+
+
+@given(edge_lists)
+@settings(max_examples=60)
+def test_joint_degree_distribution_normalized_and_symmetric(edges):
+    g = MultiGraph.from_edges(edges)
+    dist = joint_degree_distribution(g)
+    assert abs(sum(dist.values()) - 1.0) < 1e-9
+    for (k, kp), v in dist.items():
+        assert abs(dist[(kp, k)] - v) < 1e-12
+
+
+@given(edge_lists)
+@settings(max_examples=60)
+def test_jdm_mass_equals_degree_mass(edges):
+    g = MultiGraph.from_edges(edges)
+    jdm = joint_degree_matrix(g)
+    dv = degree_vector(g)
+    for k, count in dv.items():
+        mass = sum(
+            (2 if a == b else 1) * v for (a, b), v in jdm.items() if a == k
+        )
+        assert mass == k * count
+
+
+@given(edge_lists)
+@settings(max_examples=40)
+def test_triangle_counts_nonnegative(edges):
+    g = MultiGraph.from_edges(edges)
+    tri = triangles_per_node(g)
+    assert all(t >= -1e-9 for t in tri.values())
+
+
+@given(simple_edge_lists)
+@settings(max_examples=40)
+def test_clustering_in_unit_interval_on_simple_graphs(edges):
+    g = MultiGraph.from_edges(edges)
+    assert 0.0 <= network_clustering(g) <= 1.0
+    for c in degree_dependent_clustering(g).values():
+        assert -1e-9 <= c <= 1.0 + 1e-9
+
+
+@given(edge_lists)
+@settings(max_examples=40)
+def test_shared_partner_distribution_normalized(edges):
+    g = MultiGraph.from_edges(edges)
+    dist = shared_partner_distribution(g)
+    if dist:
+        assert abs(sum(dist.values()) - 1.0) < 1e-9
+
+
+@given(edge_lists)
+@settings(max_examples=30)
+def test_largest_eigenvalue_bounds(edges):
+    g = MultiGraph.from_edges(edges)
+    lam = largest_eigenvalue(g)
+    kmax = g.max_degree()
+    kbar = g.average_degree()
+    # Perron-Frobenius bounds for non-negative symmetric matrices
+    assert lam <= kmax + 1e-6
+    assert lam >= kbar - 1e-6
+
+
+@given(st.dictionaries(st.integers(1, 6), st.floats(0.0, 1.0), max_size=5))
+@settings(max_examples=60)
+def test_normalized_l1_self_distance_zero(mapping):
+    assert normalized_l1(mapping, dict(mapping)) == 0.0
+
+
+@given(
+    st.dictionaries(st.integers(1, 6), st.floats(0.0, 1.0), max_size=5),
+    st.dictionaries(st.integers(1, 6), st.floats(0.0, 1.0), max_size=5),
+)
+@settings(max_examples=60)
+def test_normalized_l1_nonnegative(a, b):
+    assert normalized_l1(a, b) >= 0.0
+
+
+@given(simple_edge_lists, st.integers(0, 1000))
+@settings(max_examples=25, deadline=None)
+def test_rewiring_preserves_2k_on_arbitrary_simple_graphs(edges, seed):
+    g = MultiGraph.from_edges(edges)
+    dv_before = degree_vector(g)
+    jdm_before = joint_degree_matrix(g)
+    target = {k: 0.5 for k in dv_before}
+    engine = RewiringEngine(g, target, rng=seed)
+    engine.run(rc=5)
+    assert degree_vector(g) == dv_before
+    assert joint_degree_matrix(g) == jdm_before
+
+
+@given(simple_edge_lists, st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_rewiring_incremental_clustering_consistent(edges, seed):
+    g = MultiGraph.from_edges(edges)
+    target = {k: 0.3 for k in degree_vector(g)}
+    engine = RewiringEngine(g, target, rng=seed)
+    engine.run(rc=10)
+    fresh = degree_dependent_clustering(g)
+    tracked = engine.clustering_by_degree()
+    for k, v in fresh.items():
+        assert abs(tracked[k] - v) < 1e-9

@@ -1,0 +1,140 @@
+"""Property-based tests for the target-construction algorithms.
+
+The central realizability guarantees of the paper (DV-1..3, JDM-1..4) must
+hold for *any* estimate configuration, not just ones produced by real
+walks — hypothesis drives the algorithms with synthetic estimates and with
+walks on random graphs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dk.construction import build_graph_from_targets
+from repro.dk.degree_vector import check_degree_vector
+from repro.dk.joint_degree_matrix import check_joint_degree_matrix
+from repro.estimators.local import LocalEstimates
+from repro.graph.generators import configuration_model
+from repro.graph.multigraph import MultiGraph
+from repro.metrics.basic import degree_vector, joint_degree_matrix
+from repro.restore.target_degree_vector import build_target_degree_vector
+from repro.restore.target_jdm import _subgraph_pair_census, build_target_jdm
+from repro.sampling.access import GraphAccess
+from repro.sampling.subgraph import build_subgraph
+from repro.sampling.walkers import random_walk
+
+
+@st.composite
+def synthetic_estimates(draw):
+    """Random plausible LocalEstimates: a sparse P(k), a sparse symmetric
+    P(k,k') supported near P(k)'s support, arbitrary positive n and kbar."""
+    degrees = draw(
+        st.lists(st.integers(1, 9), min_size=1, max_size=5, unique=True)
+    )
+    weights = [draw(st.floats(0.05, 1.0)) for _ in degrees]
+    total = sum(weights)
+    pk = {k: w / total for k, w in zip(degrees, weights)}
+
+    pairs = draw(
+        st.lists(
+            st.tuples(st.sampled_from(degrees), st.sampled_from(degrees)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    pkk: dict[tuple[int, int], float] = {}
+    for k, kp in pairs:
+        w = draw(st.floats(0.05, 1.0))
+        pkk[(k, kp)] = w
+        pkk[(kp, k)] = w
+    mass = sum(pkk.values())
+    pkk = {p: w / mass for p, w in pkk.items()}
+
+    n = draw(st.floats(5.0, 200.0))
+    kbar = draw(st.floats(1.0, 8.0))
+    return LocalEstimates(
+        num_nodes=n,
+        average_degree=kbar,
+        degree_distribution=pk,
+        joint_degree_distribution=pkk,
+        degree_clustering={k: draw(st.floats(0.0, 1.0)) for k in degrees},
+        walk_length=100,
+    )
+
+
+@given(synthetic_estimates(), st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_dv_conditions_hold_for_any_estimates(est, seed):
+    targets = build_target_degree_vector(est, rng=seed)
+    check_degree_vector(targets.counts)
+
+
+@given(synthetic_estimates(), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_jdm_conditions_hold_for_any_estimates(est, seed):
+    targets = build_target_degree_vector(est, rng=seed)
+    jdm = build_target_jdm(est, targets, rng=seed)
+    check_joint_degree_matrix(jdm, targets.counts)
+
+
+@given(synthetic_estimates(), st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_targets_always_constructible(est, seed):
+    targets = build_target_degree_vector(est, rng=seed)
+    jdm = build_target_jdm(est, targets, rng=seed)
+    g = build_graph_from_targets(targets.counts, jdm, rng=seed)
+    assert degree_vector(g) == {k: c for k, c in targets.counts.items() if c > 0}
+    assert joint_degree_matrix(g) == jdm
+
+
+@st.composite
+def walkable_graphs(draw):
+    """Connected-ish random multigraphs from even degree sequences."""
+    n = draw(st.integers(8, 30))
+    degrees = [draw(st.integers(1, 5)) for _ in range(n)]
+    if sum(degrees) % 2 == 1:
+        degrees[0] += 1
+    seed = draw(st.integers(0, 10_000))
+    g = configuration_model(degrees, rng=seed)
+    # keep only a component reachable from node 0's component
+    from repro.graph.components import connected_components
+
+    comp = max(connected_components(g), key=len)
+    out = MultiGraph()
+    for u in comp:
+        out.add_node(u)
+    for u, v in g.edges():
+        if u in comp:
+            out.add_edge(u, v)
+    return out, seed
+
+
+@given(walkable_graphs())
+@settings(max_examples=25, deadline=None)
+def test_full_pipeline_conditions_on_random_graphs(graph_and_seed):
+    graph, seed = graph_and_seed
+    if graph.num_nodes < 5:
+        return
+    rng = random.Random(seed)
+    target = max(3, graph.num_nodes // 2)
+    walk = random_walk(GraphAccess(graph), target, rng=rng, max_steps=100_000)
+    sub = build_subgraph(walk)
+    from repro.estimators.local import estimate_local_properties
+
+    est = estimate_local_properties(walk)
+    targets = build_target_degree_vector(est, subgraph=sub, rng=rng)
+    check_degree_vector(targets.counts, subgraph_census=targets.census())
+    jdm = build_target_jdm(est, targets, subgraph=sub, rng=rng)
+    census = _subgraph_pair_census(sub.graph, targets.target_degrees)
+    check_joint_degree_matrix(jdm, targets.counts, subgraph_census=census)
+    g = build_graph_from_targets(
+        targets.counts, jdm, rng=rng, subgraph=sub,
+        target_degrees=targets.target_degrees,
+    )
+    assert degree_vector(g) == {k: c for k, c in targets.counts.items() if c > 0}
+    assert joint_degree_matrix(g) == jdm
+    for u, v in sub.graph.edges():
+        assert g.has_edge(u, v)

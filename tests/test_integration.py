@@ -1,0 +1,112 @@
+"""Integration tests: the library's public API end to end.
+
+These mirror the quickstart and the paper's headline experiment at a small
+scale: crawl a hidden dataset stand-in, restore, evaluate, and check the
+cross-method ordering plus the proposed method's structural guarantees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import (
+    GraphAccess,
+    compute_properties,
+    gjoka_generate,
+    l1_distances,
+    load_dataset,
+    restore_graph,
+)
+from repro.experiments.methods import run_methods_once
+from repro.metrics.suite import EvaluationConfig, average_l1
+from repro.sampling.walkers import random_walk
+
+FAST_EVAL = EvaluationConfig(exact_threshold=400, path_sources=64, betweenness_pivots=32)
+
+
+@pytest.fixture(scope="module")
+def hidden():
+    return load_dataset("brightkite", scale=0.35)
+
+
+class TestPublicApi:
+    def test_version_and_exports(self):
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self, hidden):
+        access = GraphAccess(hidden)
+        result = restore_graph(access, hidden.num_nodes // 10, rc=10, rng=7)
+        report = l1_distances(
+            compute_properties(hidden, FAST_EVAL),
+            compute_properties(result.graph, FAST_EVAL),
+        )
+        assert len(report) == 12
+        assert average_l1(report) < 1.0
+
+
+class TestCrossMethodShape:
+    """Bench-scale versions of the paper's qualitative claims."""
+
+    @pytest.fixture(scope="class")
+    def outputs(self, hidden):
+        return run_methods_once(hidden, 0.10, rc=10, rng=3)
+
+    def test_generative_methods_estimate_n_better_than_subgraphs(
+        self, hidden, outputs
+    ):
+        # subgraph sampling reports |V'| << n; the generative methods target n^
+        sub_n = outputs["rw"].graph.num_nodes
+        prop_n = outputs["proposed"].graph.num_nodes
+        assert abs(prop_n - hidden.num_nodes) < abs(sub_n - hidden.num_nodes) or (
+            sub_n < hidden.num_nodes * 0.95
+        )
+
+    def test_subgraph_methods_fast_generative_slow(self, outputs):
+        fastest_generative = min(
+            outputs[m].total_seconds for m in ("gjoka", "proposed")
+        )
+        slowest_subgraph = max(
+            outputs[m].total_seconds for m in ("bfs", "snowball", "ff", "rw")
+        )
+        assert slowest_subgraph < fastest_generative
+
+    def test_proposed_rewiring_not_slower_than_gjoka(self, hidden):
+        # same walk, same rc: proposed has fewer candidates, so fewer attempts
+        walk = random_walk(GraphAccess(hidden), hidden.num_nodes // 10, rng=11)
+        from repro.restore.restorer import restore_from_walk
+
+        prop = restore_from_walk(walk, rc=10, rng=11)
+        gjok = gjoka_generate(walk, rc=10, rng=11)
+        assert prop.rewiring.attempts < gjok.rewiring.attempts
+
+    def test_proposed_beats_raw_subgraph_on_average(self, hidden, outputs):
+        truth = compute_properties(hidden, FAST_EVAL)
+        avg = {
+            m: average_l1(
+                l1_distances(truth, compute_properties(outputs[m].graph, FAST_EVAL))
+            )
+            for m in ("rw", "proposed")
+        }
+        assert avg["proposed"] < avg["rw"]
+
+
+class TestRestorationGuarantees:
+    def test_subgraph_embedded_verbatim(self, hidden):
+        access = GraphAccess(hidden)
+        result = restore_graph(access, hidden.num_nodes // 12, rc=5, rng=13)
+        sub = result.subgraph
+        for u, v in sub.graph.edges():
+            assert result.graph.has_edge(u, v)
+        for u in sub.queried:
+            assert result.graph.degree(u) == hidden.degree(u)
+
+    def test_multi_dataset_smoke(self):
+        for name in ("epinions", "youtube"):
+            g = load_dataset(name, scale=0.12, cache=False)
+            access = GraphAccess(g)
+            result = restore_graph(access, max(10, g.num_nodes // 10), rc=3, rng=17)
+            assert result.graph.num_nodes > 0
+            assert result.rewiring is not None

@@ -1,0 +1,207 @@
+"""Unit tests for the MultiGraph container."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.multigraph import MultiGraph
+
+
+class TestNodes:
+    def test_add_node_idempotent(self):
+        g = MultiGraph()
+        g.add_node(1)
+        g.add_node(1)
+        assert g.num_nodes == 1
+
+    def test_has_node(self):
+        g = MultiGraph()
+        g.add_node("a")
+        assert g.has_node("a")
+        assert not g.has_node("b")
+
+    def test_contains_and_len(self):
+        g = MultiGraph()
+        g.add_node(1)
+        g.add_node(2)
+        assert 1 in g
+        assert 3 not in g
+        assert len(g) == 2
+
+    def test_nodes_insertion_order(self):
+        g = MultiGraph()
+        for u in (3, 1, 2):
+            g.add_node(u)
+        assert list(g.nodes()) == [3, 1, 2]
+
+    def test_remove_node_drops_incident_edges(self):
+        g = MultiGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        g.remove_node(1)
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+        assert g.has_edge(2, 0)
+
+    def test_remove_node_with_loop_updates_edge_count(self):
+        g = MultiGraph()
+        g.add_edge(0, 0)
+        g.add_edge(0, 1)
+        g.remove_node(0)
+        assert g.num_edges == 0
+        assert g.num_nodes == 1
+
+    def test_remove_missing_node_raises(self):
+        g = MultiGraph()
+        with pytest.raises(GraphError):
+            g.remove_node(9)
+
+
+class TestEdges:
+    def test_add_edge_creates_nodes(self):
+        g = MultiGraph()
+        g.add_edge(1, 2)
+        assert g.has_node(1) and g.has_node(2)
+        assert g.num_edges == 1
+
+    def test_parallel_edges_accumulate(self):
+        g = MultiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 2)
+        assert g.multiplicity(1, 2) == 2
+        assert g.num_edges == 2
+
+    def test_loop_convention_doubles_matrix_entry(self):
+        g = MultiGraph()
+        g.add_edge(5, 5)
+        assert g.multiplicity(5, 5) == 2
+        assert g.degree(5) == 2
+        assert g.num_edges == 1
+
+    def test_remove_edge_decrements(self):
+        g = MultiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 2)
+        g.remove_edge(1, 2)
+        assert g.multiplicity(1, 2) == 1
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 0
+
+    def test_remove_loop(self):
+        g = MultiGraph()
+        g.add_edge(3, 3)
+        g.remove_edge(3, 3)
+        assert g.num_edges == 0
+        assert g.degree(3) == 0
+
+    def test_remove_missing_edge_raises(self):
+        g = MultiGraph()
+        g.add_node(1)
+        g.add_node(2)
+        with pytest.raises(GraphError):
+            g.remove_edge(1, 2)
+
+    def test_remove_missing_loop_raises(self):
+        g = MultiGraph()
+        g.add_edge(1, 2)
+        with pytest.raises(GraphError):
+            g.remove_edge(1, 1)
+
+    def test_edges_iteration_counts_multiplicity(self, multigraph_with_parallels):
+        edges = list(multigraph_with_parallels.edges())
+        assert len(edges) == multigraph_with_parallels.num_edges
+        assert edges.count((0, 1)) == 2
+        assert (2, 2) in edges
+
+    def test_edges_yield_each_undirected_edge_once(self, cycle6):
+        edges = list(cycle6.edges())
+        assert len(edges) == 6
+        canonical = {(min(u, v), max(u, v)) for u, v in edges}
+        assert len(canonical) == 6
+
+
+class TestDegreesAndNeighbors:
+    def test_degree_counts_loops_twice(self, multigraph_with_parallels):
+        assert multigraph_with_parallels.degree(2) == 4  # 1-2, loop(x2), 2-3
+
+    def test_degree_missing_node_raises(self):
+        with pytest.raises(GraphError):
+            MultiGraph().degree(0)
+
+    def test_handshake_identity(self, multigraph_with_parallels):
+        g = multigraph_with_parallels
+        assert sum(g.degree(u) for u in g.nodes()) == 2 * g.num_edges
+
+    def test_neighbors_distinct(self, multigraph_with_parallels):
+        assert set(multigraph_with_parallels.neighbors(0)) == {1, 3}
+        assert set(multigraph_with_parallels.neighbors(2)) == {1, 2, 3}
+
+    def test_incident_edge_endpoints_length_matches_degree(
+        self, multigraph_with_parallels
+    ):
+        g = multigraph_with_parallels
+        for u in g.nodes():
+            assert len(g.incident_edge_endpoints(u)) == g.degree(u)
+
+    def test_random_neighbor_respects_multiplicity(self):
+        g = MultiGraph()
+        g.add_edge(0, 1)
+        g.add_edge(0, 1)
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        r = random.Random(0)
+        draws = [g.random_neighbor(0, r) for _ in range(4000)]
+        share = draws.count(1) / len(draws)
+        assert 0.70 <= share <= 0.80  # expect 3/4
+
+    def test_random_neighbor_isolated_raises(self):
+        g = MultiGraph()
+        g.add_node(0)
+        with pytest.raises(GraphError):
+            g.random_neighbor(0, random.Random(0))
+
+    def test_adjacency_view_is_live(self):
+        g = MultiGraph()
+        g.add_edge(0, 1)
+        view = g.adjacency_view(0)
+        g.add_edge(0, 2)
+        assert 2 in view
+
+
+class TestAggregates:
+    def test_degrees_mapping(self, star5):
+        degrees = star5.degrees()
+        assert degrees[0] == 5
+        assert all(degrees[v] == 1 for v in range(1, 6))
+
+    def test_max_degree(self, star5):
+        assert star5.max_degree() == 5
+
+    def test_max_degree_empty(self):
+        assert MultiGraph().max_degree() == 0
+
+    def test_average_degree(self, cycle6):
+        assert cycle6.average_degree() == pytest.approx(2.0)
+
+    def test_average_degree_empty(self):
+        assert MultiGraph().average_degree() == 0.0
+
+    def test_degree_histogram(self, star5):
+        assert star5.degree_histogram() == {5: 1, 1: 5}
+
+    def test_is_simple(self, cycle6, multigraph_with_parallels):
+        assert cycle6.is_simple()
+        assert not multigraph_with_parallels.is_simple()
+
+    def test_copy_independent(self, cycle6):
+        g = cycle6.copy()
+        g.add_edge(0, 3)
+        assert cycle6.num_edges == 6
+        assert g.num_edges == 7
+
+    def test_from_edges_with_isolated_nodes(self):
+        g = MultiGraph.from_edges([(0, 1)], nodes=[5, 6])
+        assert g.num_nodes == 4
+        assert g.degree(5) == 0

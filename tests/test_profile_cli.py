@@ -1,0 +1,102 @@
+"""Tests for graph profiles and the profile/restore CLI commands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.metrics.profile import (
+    format_profile,
+    format_profile_comparison,
+    graph_profile,
+)
+from repro.metrics.suite import EvaluationConfig
+
+FAST_EVAL = EvaluationConfig(exact_threshold=200, path_sources=48, betweenness_pivots=24)
+
+
+class TestGraphProfile:
+    def test_fields(self, social_graph):
+        profile = graph_profile(social_graph, FAST_EVAL)
+        assert profile.num_nodes == social_graph.num_nodes
+        assert profile.num_edges == social_graph.num_edges
+        assert profile.degeneracy >= 1
+        assert 0.0 <= profile.periphery_fraction <= 1.0
+
+    def test_format_contains_headline_numbers(self, social_graph):
+        profile = graph_profile(social_graph, FAST_EVAL)
+        text = format_profile(profile, title="social")
+        assert "# social" in text
+        assert f"nodes               {social_graph.num_nodes}" in text
+        assert "degeneracy" in text
+
+    def test_comparison_table(self, social_graph, cycle6):
+        a = graph_profile(social_graph, FAST_EVAL)
+        b = graph_profile(cycle6, FAST_EVAL)
+        text = format_profile_comparison(a, b)
+        assert "original" in text and "restored" in text
+        assert str(social_graph.num_nodes) in text
+        assert "6" in text
+
+
+class TestCliProfileRestore:
+    def test_profile_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "anybeat", "--scale", "0.12"]) == 0
+        out = capsys.readouterr().out
+        assert "# anybeat" in out
+        assert "average degree" in out
+
+    def test_restore_command_with_output(self, capsys, tmp_path):
+        from repro.cli import main
+
+        prefix = str(tmp_path / "restored")
+        code = main(
+            [
+                "restore",
+                "anybeat",
+                "--scale",
+                "0.12",
+                "--fraction",
+                "0.15",
+                "--rc",
+                "3",
+                "--out",
+                prefix,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "original" in out and "restored" in out
+        summary = json.loads((tmp_path / "restored.json").read_text())
+        assert summary["restored_nodes"] > 0
+        assert "rewiring_accepted" in summary
+        from repro.graph.io import read_edge_list
+
+        g = read_edge_list(tmp_path / "restored.edges")
+        assert g.num_nodes == summary["restored_nodes"]
+        assert g.num_edges == summary["restored_edges"]
+
+    def test_restore_command_without_output(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["restore", "anybeat", "--scale", "0.12", "--fraction", "0.15", "--rc", "2"]
+        ) == 0
+        assert "wrote" not in capsys.readouterr().out
+
+
+class TestRestorationSummary:
+    def test_summary_shape(self, social_graph):
+        from repro.restore.restorer import restore_graph
+        from repro.sampling.access import GraphAccess
+
+        result = restore_graph(GraphAccess(social_graph), 30, rc=3, rng=1)
+        summary = result.summary()
+        assert summary["queried_nodes"] == 30
+        assert summary["restored_nodes"] == result.graph.num_nodes
+        assert summary["total_seconds"] >= summary["rewiring_seconds"]
+        assert set(summary["phase_seconds"]) >= {"construction", "rewiring"}
+        json.dumps(summary)  # must be JSON-serializable

@@ -1,0 +1,83 @@
+"""Tests for the CSV / Markdown report writers."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments.report import (
+    per_property_markdown,
+    results_to_csv,
+    results_to_markdown,
+    write_csv,
+    write_markdown,
+)
+from repro.experiments.runner import MethodAggregate
+from repro.metrics.suite import PROPERTY_NAMES
+
+
+@pytest.fixture
+def sweep():
+    def agg(method, base):
+        per = {name: base + i * 0.01 for i, name in enumerate(PROPERTY_NAMES)}
+        avg = sum(per.values()) / len(per)
+        return MethodAggregate(
+            method=method,
+            per_property=per,
+            average_l1=avg,
+            std_l1=0.05,
+            total_seconds=base * 10,
+            rewiring_seconds=base * 8,
+        )
+
+    return {
+        "anybeat": {"rw": agg("rw", 0.4), "proposed": agg("proposed", 0.1)},
+        "epinions": {"rw": agg("rw", 0.5), "proposed": agg("proposed", 0.2)},
+    }
+
+
+class TestCsv:
+    def test_row_and_column_counts(self, sweep):
+        text = results_to_csv(sweep)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert len(rows) == 1 + 4  # header + 2 datasets x 2 methods
+        assert len(rows[0]) == 2 + 12 + 4
+
+    def test_values_round_trip(self, sweep):
+        rows = list(csv.DictReader(io.StringIO(results_to_csv(sweep))))
+        first = next(
+            r for r in rows if r["dataset"] == "anybeat" and r["method"] == "proposed"
+        )
+        assert float(first["num_nodes"]) == pytest.approx(0.1)
+        assert float(first["total_seconds"]) == pytest.approx(1.0)
+
+    def test_write_csv(self, sweep, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(sweep, path)
+        assert path.read_text().startswith("dataset,method")
+
+
+class TestMarkdown:
+    def test_structure(self, sweep):
+        md = results_to_markdown(sweep, caption="Table III")
+        lines = md.splitlines()
+        assert lines[0] == "**Table III**"
+        assert "| Dataset |" in md
+        assert md.count("| anybeat |") == 1
+
+    def test_best_method_bolded(self, sweep):
+        md = results_to_markdown(sweep)
+        # proposed has the lower average on both datasets
+        assert md.count("**0.1") + md.count("**0.2") >= 2
+
+    def test_per_property_table(self, sweep):
+        md = per_property_markdown(sweep, "anybeat")
+        assert md.count("\n") == 13  # header + divider + 12 properties
+        assert "| n |" in md
+
+    def test_write_markdown(self, sweep, tmp_path):
+        path = tmp_path / "out.md"
+        write_markdown(sweep, path, caption="x")
+        assert "| Dataset |" in path.read_text()

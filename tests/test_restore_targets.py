@@ -1,0 +1,183 @@
+"""Tests for target degree vector (Algs 1-2) and target JDM (Algs 3-4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dk.degree_vector import check_degree_vector
+from repro.dk.joint_degree_matrix import check_joint_degree_matrix
+from repro.estimators.local import LocalEstimates, estimate_local_properties
+from repro.restore.target_degree_vector import (
+    adjust_parity,
+    build_target_degree_vector,
+    delta_plus,
+)
+from repro.restore.target_jdm import _subgraph_pair_census, build_target_jdm
+from repro.sampling.access import GraphAccess
+from repro.sampling.subgraph import build_subgraph
+from repro.sampling.walkers import random_walk
+
+
+@pytest.fixture
+def walk_and_subgraph(social_graph):
+    walk = random_walk(GraphAccess(social_graph), 40, rng=21)
+    return walk, build_subgraph(walk)
+
+
+@pytest.fixture
+def estimates(walk_and_subgraph):
+    walk, _ = walk_and_subgraph
+    return estimate_local_properties(walk)
+
+
+def _hand_estimates(n, kbar, pk, pkk=None, ck=None) -> LocalEstimates:
+    return LocalEstimates(
+        num_nodes=n,
+        average_degree=kbar,
+        degree_distribution=pk,
+        joint_degree_distribution=pkk or {},
+        degree_clustering=ck or {},
+        walk_length=100,
+    )
+
+
+class TestDegreeVectorInitialization:
+    def test_positive_estimates_floored_at_one(self):
+        est = _hand_estimates(100, 2.0, {1: 0.001, 2: 0.999})
+        targets = build_target_degree_vector(est)
+        assert targets.counts[1] >= 1  # NearInt(0.1) = 0 floored to 1
+
+    def test_near_int_rounding(self):
+        est = _hand_estimates(10, 2.0, {2: 0.56, 3: 0.44})
+        targets = build_target_degree_vector(est)
+        # 10*0.56 = 5.6 -> 6; 10*0.44 = 4.4 -> 4
+        assert targets.counts[2] == 6
+        assert targets.counts[3] == 4
+
+    def test_k_max_from_estimates(self):
+        est = _hand_estimates(10, 2.0, {2: 0.5, 7: 0.5})
+        targets = build_target_degree_vector(est)
+        assert targets.k_max == 7
+
+    def test_k_max_includes_subgraph(self, walk_and_subgraph, estimates):
+        _, sub = walk_and_subgraph
+        targets = build_target_degree_vector(estimates, subgraph=sub, rng=1)
+        assert targets.k_max >= sub.graph.max_degree()
+
+    def test_no_observations_rejected(self):
+        est = _hand_estimates(10, 2.0, {})
+        from repro.errors import RealizabilityError
+
+        with pytest.raises(RealizabilityError):
+            build_target_degree_vector(est)
+
+
+class TestAlgorithm1Parity:
+    def test_even_sum_untouched(self):
+        est = _hand_estimates(4, 2.0, {2: 1.0})
+        targets = build_target_degree_vector(est)
+        before = dict(targets.counts)
+        adjust_parity(targets, est)
+        assert targets.counts == before
+
+    def test_odd_sum_fixed_via_odd_degree(self):
+        # n*(3) = 1 gives odd degree sum 3; the fix bumps an odd class
+        est = _hand_estimates(1, 3.0, {3: 1.0})
+        targets = build_target_degree_vector(est)
+        assert targets.degree_sum() % 2 == 0
+        check_degree_vector(targets.counts)
+
+    def test_delta_plus_infinite_for_unobserved(self):
+        est = _hand_estimates(10, 2.0, {2: 1.0})
+        assert delta_plus(est, {2: 10}, 3) == float("inf")
+
+    def test_delta_plus_prefers_underfilled(self):
+        est = _hand_estimates(100, 2.0, {1: 0.5, 3: 0.5})
+        counts = {1: 30, 3: 70}  # estimate is 50/50: class 1 is underfilled
+        assert delta_plus(est, counts, 1) < delta_plus(est, counts, 3)
+
+
+class TestAlgorithm2Modification:
+    def test_dv_conditions_all_hold(self, walk_and_subgraph, estimates):
+        _, sub = walk_and_subgraph
+        targets = build_target_degree_vector(estimates, subgraph=sub, rng=2)
+        check_degree_vector(targets.counts, subgraph_census=targets.census())
+
+    def test_queried_nodes_keep_exact_degree(self, walk_and_subgraph, estimates):
+        _, sub = walk_and_subgraph
+        targets = build_target_degree_vector(estimates, subgraph=sub, rng=3)
+        for u in sub.queried:
+            assert targets.target_degrees[u] == sub.graph.degree(u)
+
+    def test_visible_nodes_at_least_subgraph_degree(self, walk_and_subgraph, estimates):
+        _, sub = walk_and_subgraph
+        targets = build_target_degree_vector(estimates, subgraph=sub, rng=4)
+        for u in sub.visible:
+            assert targets.target_degrees[u] >= sub.graph.degree(u)
+
+    def test_every_subgraph_node_assigned(self, walk_and_subgraph, estimates):
+        _, sub = walk_and_subgraph
+        targets = build_target_degree_vector(estimates, subgraph=sub, rng=5)
+        assert set(targets.target_degrees) == set(sub.graph.nodes())
+
+    def test_census_within_counts(self, walk_and_subgraph, estimates):
+        _, sub = walk_and_subgraph
+        targets = build_target_degree_vector(estimates, subgraph=sub, rng=6)
+        for k, c in targets.census().items():
+            assert targets.counts.get(k, 0) >= c
+
+    def test_without_subgraph_no_assignments(self, estimates):
+        targets = build_target_degree_vector(estimates, rng=7)
+        assert targets.target_degrees == {}
+
+
+class TestTargetJdm:
+    def test_conditions_without_subgraph(self, estimates):
+        targets = build_target_degree_vector(estimates, rng=8)
+        jdm = build_target_jdm(estimates, targets, rng=8)
+        check_joint_degree_matrix(jdm, targets.counts)
+
+    def test_conditions_with_subgraph(self, walk_and_subgraph, estimates):
+        _, sub = walk_and_subgraph
+        targets = build_target_degree_vector(estimates, subgraph=sub, rng=9)
+        jdm = build_target_jdm(estimates, targets, subgraph=sub, rng=9)
+        census = _subgraph_pair_census(sub.graph, targets.target_degrees)
+        check_joint_degree_matrix(jdm, targets.counts, subgraph_census=census)
+        check_degree_vector(targets.counts, subgraph_census=targets.census())
+
+    def test_hand_built_consistent_case(self):
+        # truth: triangle of degree-2 nodes
+        est = _hand_estimates(
+            3, 2.0, {2: 1.0}, pkk={(2, 2): 1.0}, ck={2: 1.0}
+        )
+        targets = build_target_degree_vector(est, rng=10)
+        jdm = build_target_jdm(est, targets, rng=10)
+        assert targets.counts == {2: 3}
+        assert jdm == {(2, 2): 3}
+
+    def test_adjustment_repairs_inconsistent_estimates(self):
+        # degree estimates say 4 degree-3 nodes (mass 12) but the JDD says
+        # only 2 edges of (3,3) (mass 8): Algorithm 3 must reconcile
+        est = _hand_estimates(
+            4, 3.0, {3: 1.0}, pkk={(3, 3): 2.0 / 3.0}, ck={}
+        )
+        targets = build_target_degree_vector(est, rng=11)
+        jdm = build_target_jdm(est, targets, rng=11)
+        check_joint_degree_matrix(jdm, targets.counts)
+
+    def test_star_like_estimates(self):
+        est = _hand_estimates(
+            5, 1.6, {4: 0.2, 1: 0.8}, pkk={(4, 1): 0.5, (1, 4): 0.5}, ck={}
+        )
+        targets = build_target_degree_vector(est, rng=12)
+        jdm = build_target_jdm(est, targets, rng=12)
+        check_joint_degree_matrix(jdm, targets.counts)
+
+    def test_deterministic_under_seed(self, walk_and_subgraph, estimates):
+        _, sub = walk_and_subgraph
+        t1 = build_target_degree_vector(estimates, subgraph=sub, rng=13)
+        j1 = build_target_jdm(estimates, t1, subgraph=sub, rng=14)
+        t2 = build_target_degree_vector(estimates, subgraph=sub, rng=13)
+        j2 = build_target_jdm(estimates, t2, subgraph=sub, rng=14)
+        assert t1.counts == t2.counts
+        assert j1 == j2

@@ -1,0 +1,243 @@
+"""Tests for the access model, walkers, crawlers, and subgraph construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.graph.generators import star_graph
+from repro.graph.multigraph import MultiGraph
+from repro.sampling.access import GraphAccess
+from repro.sampling.crawlers import (
+    bfs_crawl,
+    crawl_result_from_walk,
+    forest_fire_crawl,
+    random_walk_crawl,
+    snowball_crawl,
+)
+from repro.sampling.subgraph import build_subgraph
+from repro.sampling.walkers import (
+    metropolis_hastings_random_walk,
+    non_backtracking_random_walk,
+    random_walk,
+)
+
+
+class TestGraphAccess:
+    def test_query_returns_incident_endpoints(self, paper_example):
+        access = GraphAccess(paper_example)
+        assert sorted(access.query(3)) == [1, 2, 4, 6]
+
+    def test_query_counts_distinct_nodes_only(self, paper_example):
+        access = GraphAccess(paper_example)
+        access.query(3)
+        access.query(3)
+        access.query(1)
+        assert access.num_queried == 2
+        assert access.queried_nodes == {1, 3}
+
+    def test_budget_enforced(self, paper_example):
+        access = GraphAccess(paper_example, budget=2)
+        access.query(1)
+        access.query(2)
+        access.query(1)  # repeat is free
+        with pytest.raises(SamplingError):
+            access.query(3)
+
+    def test_degree_requires_prior_query(self, paper_example):
+        access = GraphAccess(paper_example)
+        with pytest.raises(SamplingError):
+            access.degree(3)
+        access.query(3)
+        assert access.degree(3) == 4
+
+    def test_missing_node_raises(self, paper_example):
+        access = GraphAccess(paper_example)
+        with pytest.raises(SamplingError):
+            access.query(999)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(SamplingError):
+            GraphAccess(MultiGraph())
+
+    def test_fraction_and_remaining(self, paper_example):
+        access = GraphAccess(paper_example, budget=5)
+        access.query(1)
+        assert access.remaining() == 4
+        assert access.fraction_queried() == pytest.approx(0.1)
+        assert not access.budget_exhausted()
+
+
+class TestRandomWalk:
+    def test_reaches_target_queried(self, social_graph):
+        access = GraphAccess(social_graph)
+        walk = random_walk(access, 30, rng=1)
+        assert len(walk.distinct_nodes) == 30
+        assert access.num_queried == 30
+
+    def test_consecutive_nodes_adjacent(self, social_graph):
+        access = GraphAccess(social_graph)
+        walk = random_walk(access, 25, rng=2)
+        for i in range(walk.length - 1):
+            u, v = walk.nodes[i], walk.nodes[i + 1]
+            assert social_graph.has_edge(u, v)
+
+    def test_recorded_neighbors_match_graph(self, social_graph):
+        access = GraphAccess(social_graph)
+        walk = random_walk(access, 20, rng=3)
+        for u in walk.distinct_nodes:
+            assert sorted(walk.neighbors[u]) == sorted(
+                social_graph.incident_edge_endpoints(u)
+            )
+
+    def test_seed_respected(self, social_graph):
+        seed = next(iter(social_graph.nodes()))
+        access = GraphAccess(social_graph)
+        walk = random_walk(access, 10, seed=seed, rng=4)
+        assert walk.nodes[0] == seed
+
+    def test_isolated_seed_raises(self):
+        g = MultiGraph.from_edges([(0, 1)], nodes=[9])
+        with pytest.raises(SamplingError):
+            random_walk(GraphAccess(g), 2, seed=9, rng=0)
+
+    def test_unreachable_target_raises(self):
+        g = MultiGraph.from_edges([(0, 1), (5, 6)])
+        with pytest.raises(SamplingError):
+            random_walk(GraphAccess(g), 4, seed=0, rng=0, max_steps=500)
+
+    def test_degree_sequence_alignment(self, social_walk, social_graph):
+        degs = social_walk.degree_sequence()
+        assert len(degs) == social_walk.length
+        for node, d in zip(social_walk.nodes, degs):
+            assert d == social_graph.degree(node)
+
+    def test_degree_of_unvisited_raises(self, social_walk):
+        with pytest.raises(SamplingError):
+            social_walk.degree(-1)
+
+
+class TestImprovedWalks:
+    def test_non_backtracking_avoids_reversal(self):
+        # on a cycle, an NBRW never turns around
+        from repro.graph.generators import cycle_graph
+
+        g = cycle_graph(12)
+        walk = non_backtracking_random_walk(GraphAccess(g), 12, seed=0, rng=5)
+        for i in range(2, walk.length):
+            assert walk.nodes[i] != walk.nodes[i - 2]
+
+    def test_non_backtracking_degree_one_backtracks(self):
+        g = star_graph(3)
+        walk = non_backtracking_random_walk(GraphAccess(g), 4, seed=1, rng=6)
+        # leaves have degree 1: the walk must return through the hub
+        assert walk.nodes.count(0) >= 1
+
+    def test_mhrw_reaches_target(self, social_graph):
+        access = GraphAccess(social_graph)
+        metropolis_hastings_random_walk(access, 30, rng=7)
+        # MHRW queries proposals (it needs their degree), so the *queried*
+        # count hits the target even though rejected proposals are never
+        # visited by the walk itself
+        assert access.num_queried >= 30
+
+    def test_mhrw_approximates_uniform(self, social_graph):
+        # MH visit distribution should be flatter than the simple RW's
+        walk_mh = metropolis_hastings_random_walk(
+            GraphAccess(social_graph), 110, rng=8, max_steps=200_000
+        )
+        walk_rw = random_walk(GraphAccess(social_graph), 110, rng=8)
+        mean_deg_mh = sum(walk_mh.degree_sequence()) / walk_mh.length
+        mean_deg_rw = sum(walk_rw.degree_sequence()) / walk_rw.length
+        assert mean_deg_mh < mean_deg_rw
+
+
+class TestCrawlers:
+    @pytest.mark.parametrize(
+        "crawler", [bfs_crawl, snowball_crawl, forest_fire_crawl, random_walk_crawl]
+    )
+    def test_reaches_target(self, crawler, social_graph):
+        result = crawler(GraphAccess(social_graph), 40, rng=9)
+        assert result.num_queried == 40
+
+    def test_bfs_layer_order(self, star5):
+        result = bfs_crawl(GraphAccess(star5), 4, seed=1, rng=10)
+        # seed leaf first, hub second, then other leaves
+        assert result.queried[0] == 1
+        assert result.queried[1] == 0
+
+    def test_snowball_limits_expansion(self, social_graph):
+        result = snowball_crawl(GraphAccess(social_graph), 30, k=2, rng=11)
+        assert result.num_queried == 30
+
+    def test_snowball_invalid_k(self, social_graph):
+        with pytest.raises(SamplingError):
+            snowball_crawl(GraphAccess(social_graph), 5, k=0)
+
+    def test_forest_fire_invalid_p(self, social_graph):
+        with pytest.raises(SamplingError):
+            forest_fire_crawl(GraphAccess(social_graph), 5, p_forward=1.0)
+
+    def test_forest_fire_revives_after_dieout(self, social_graph):
+        # tiny p makes the fire die constantly; revival must still finish
+        result = forest_fire_crawl(
+            GraphAccess(social_graph), 35, p_forward=0.05, rng=12
+        )
+        assert result.num_queried == 35
+
+    def test_crawl_exhaustion_raises(self):
+        g = MultiGraph.from_edges([(0, 1), (5, 6)])
+        with pytest.raises(SamplingError):
+            bfs_crawl(GraphAccess(g), 3, seed=0)
+
+    def test_crawl_result_from_walk_dedupes(self, social_walk):
+        result = crawl_result_from_walk(social_walk)
+        assert result.num_queried == len(social_walk.distinct_nodes)
+        assert len(result.queried) == len(set(result.queried))
+
+
+class TestSubgraph:
+    def test_paper_figure1_example(self, paper_example):
+        """Query v1, v3, v6 (the Figure 1 walk) and check G' exactly."""
+        access = GraphAccess(paper_example)
+        for node in (1, 3, 6):
+            access.query(node)
+        from repro.sampling.crawlers import CrawlResult
+
+        result = CrawlResult()
+        for node in (1, 3, 6):
+            result.record(node, access.query(node))
+        sub = build_subgraph(result)
+        assert sub.queried == {1, 3, 6}
+        assert sub.visible == {2, 4, 5, 8}
+        expected_edges = {(1, 3), (2, 3), (3, 4), (3, 6), (5, 6), (6, 8), (1, 2)}
+        assert sub.edge_set() == expected_edges
+
+    def test_lemma1_degree_exactness(self, social_graph, social_walk):
+        sub = build_subgraph(social_walk)
+        for u in sub.queried:
+            assert sub.graph.degree(u) == social_graph.degree(u)
+        for u in sub.visible:
+            assert sub.graph.degree(u) <= social_graph.degree(u)
+
+    def test_edges_deduplicated(self, social_graph, social_walk):
+        sub = build_subgraph(social_walk)
+        assert sub.graph.is_simple()
+
+    def test_partition_is_disjoint_and_total(self, social_walk):
+        sub = build_subgraph(social_walk)
+        assert not (sub.queried & sub.visible)
+        assert sub.queried | sub.visible == set(sub.graph.nodes())
+
+    def test_empty_sample_raises(self):
+        from repro.sampling.crawlers import CrawlResult
+
+        with pytest.raises(SamplingError):
+            build_subgraph(CrawlResult())
+
+    def test_is_degree_exact(self, social_walk):
+        sub = build_subgraph(social_walk)
+        q = next(iter(sub.queried))
+        v = next(iter(sub.visible))
+        assert sub.is_degree_exact(q)
+        assert not sub.is_degree_exact(v)

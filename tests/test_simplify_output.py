@@ -1,0 +1,51 @@
+"""Tests for the restorer's simplify_output post-processing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dk.cleanup import count_defects
+from repro.graph.datasets import load_dataset
+from repro.restore.restorer import restore_from_walk
+from repro.sampling.access import GraphAccess
+from repro.sampling.walkers import random_walk
+
+
+@pytest.fixture(scope="module")
+def walk():
+    g = load_dataset("anybeat", scale=0.4)
+    return random_walk(GraphAccess(g), g.num_nodes // 8, rng=41)
+
+
+class TestSimplifyOutput:
+    def test_disabled_by_default(self, walk):
+        result = restore_from_walk(walk, rc=3, rng=42)
+        assert result.cleanup is None
+
+    def test_reduces_defects(self, walk):
+        raw = restore_from_walk(walk, rc=3, rng=42)
+        clean = restore_from_walk(walk, rc=3, rng=42, simplify_output=True)
+        assert clean.cleanup is not None
+        assert count_defects(clean.graph) <= count_defects(raw.graph)
+        assert clean.cleanup.remaining_defects == count_defects(clean.graph)
+
+    def test_subgraph_still_embedded(self, walk):
+        result = restore_from_walk(walk, rc=3, rng=43, simplify_output=True)
+        for u, v in result.subgraph.graph.edges():
+            assert result.graph.has_edge(u, v)
+
+    def test_degrees_preserved(self, walk):
+        raw = restore_from_walk(walk, rc=3, rng=44)
+        clean = restore_from_walk(walk, rc=3, rng=44, simplify_output=True)
+        assert sorted(raw.graph.degrees().values()) == sorted(
+            clean.graph.degrees().values()
+        )
+
+    def test_cleanup_phase_timed(self, walk):
+        result = restore_from_walk(walk, rc=3, rng=45, simplify_output=True)
+        assert "cleanup" in result.stopwatch.splits()
+
+    def test_usually_fully_simple(self, walk):
+        result = restore_from_walk(walk, rc=3, rng=46, simplify_output=True)
+        # the strict + relaxed cascade removes all defects in practice
+        assert result.cleanup.remaining_defects <= 2

@@ -1,0 +1,143 @@
+"""Tests for the utils package."""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+
+import pytest
+
+from repro.utils.ints import is_even, is_odd, near_int
+from repro.utils.rng import ensure_rng, spawn
+from repro.utils.stats import RunningStats, mean, pstdev
+from repro.utils.timers import Stopwatch
+
+
+class TestNearInt:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0.0, 0),
+            (0.4, 0),
+            (0.5, 1),
+            (1.5, 2),
+            (2.5, 3),  # away from zero, not banker's
+            (-0.5, -1),
+            (-2.5, -3),
+            (10.0, 10),
+        ],
+    )
+    def test_rounding(self, value, expected):
+        assert near_int(value) == expected
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            near_int(float("nan"))
+
+    def test_parity_helpers(self):
+        assert is_even(4) and not is_even(5)
+        assert is_odd(5) and not is_odd(4)
+
+
+class TestRng:
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_int_seed_deterministic(self):
+        assert ensure_rng(42).random() == ensure_rng(42).random()
+
+    def test_instance_passthrough(self):
+        r = random.Random(1)
+        assert ensure_rng(r) is r
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_independent(self):
+        parent = random.Random(5)
+        child_a = spawn(parent, salt=1)
+        parent2 = random.Random(5)
+        child_b = spawn(parent2, salt=1)
+        assert child_a.random() == child_b.random()
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_pstdev(self):
+        assert pstdev([2.0, 4.0]) == pytest.approx(1.0)
+
+    def test_running_stats_matches_batch(self):
+        data = [1.5, 2.0, -3.0, 7.25, 0.0]
+        rs = RunningStats()
+        rs.extend(data)
+        assert rs.count == 5
+        assert rs.mean == pytest.approx(mean(data))
+        assert rs.stdev == pytest.approx(pstdev(data))
+
+    def test_running_stats_empty(self):
+        rs = RunningStats()
+        assert rs.mean == 0.0
+        assert rs.variance == 0.0
+
+
+class TestStopwatch:
+    def test_measure_accumulates(self):
+        sw = Stopwatch()
+        with sw.measure("a"):
+            time.sleep(0.01)
+        with sw.measure("a"):
+            time.sleep(0.01)
+        with sw.measure("b"):
+            pass
+        assert sw.elapsed("a") >= 0.02
+        assert sw.total() == pytest.approx(sw.elapsed("a") + sw.elapsed("b"))
+
+    def test_unknown_label_zero(self):
+        assert Stopwatch().elapsed("nope") == 0.0
+
+    def test_add_direct(self):
+        sw = Stopwatch()
+        sw.add("x", 1.5)
+        sw.add("x", 0.5)
+        assert sw.splits() == {"x": 2.0}
+
+    def test_exception_still_records(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with sw.measure("boom"):
+                raise RuntimeError("x")
+        assert sw.elapsed("boom") >= 0.0
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        from repro.errors import (
+            ConstructionError,
+            DatasetError,
+            EstimationError,
+            ExperimentError,
+            GraphError,
+            RealizabilityError,
+            ReproError,
+            SamplingError,
+        )
+
+        for exc in (
+            GraphError,
+            SamplingError,
+            EstimationError,
+            RealizabilityError,
+            ConstructionError,
+            DatasetError,
+            ExperimentError,
+        ):
+            assert issubclass(exc, ReproError)
+        assert math.isfinite(1.0)  # keep the import block exercised

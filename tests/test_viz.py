@@ -1,0 +1,94 @@
+"""Tests for the layout engine and SVG renderer."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.graph.multigraph import MultiGraph
+from repro.viz.layout import fruchterman_reingold_layout
+from repro.viz.svg import render_svg, save_svg
+
+
+class TestLayout:
+    def test_positions_for_every_node(self, social_graph):
+        pos = fruchterman_reingold_layout(social_graph, iterations=10, rng=1)
+        assert set(pos) == set(social_graph.nodes())
+
+    def test_positions_in_unit_square(self, social_graph):
+        pos = fruchterman_reingold_layout(social_graph, iterations=10, rng=2)
+        for x, y in pos.values():
+            assert 0.0 <= x <= 1.0
+            assert 0.0 <= y <= 1.0
+
+    def test_empty_and_singleton(self):
+        assert fruchterman_reingold_layout(MultiGraph()) == {}
+        g = MultiGraph()
+        g.add_node(7)
+        assert fruchterman_reingold_layout(g) == {7: (0.5, 0.5)}
+
+    def test_sampling_reduces_node_count(self, social_graph):
+        pos = fruchterman_reingold_layout(
+            social_graph, iterations=5, rng=3, sample_nodes=40
+        )
+        assert len(pos) == 40
+
+    def test_connected_pair_closer_than_random_pair(self, social_graph):
+        # spring layout should, on average, place neighbors closer together
+        pos = fruchterman_reingold_layout(social_graph, iterations=60, rng=4)
+
+        def dist(u, v):
+            (x1, y1), (x2, y2) = pos[u], pos[v]
+            return ((x1 - x2) ** 2 + (y1 - y2) ** 2) ** 0.5
+
+        edges = [(u, v) for u, v in social_graph.edges() if u != v][:200]
+        nodes = list(social_graph.nodes())
+        edge_mean = sum(dist(u, v) for u, v in edges) / len(edges)
+        import random
+
+        r = random.Random(5)
+        pairs = [(r.choice(nodes), r.choice(nodes)) for _ in range(200)]
+        pair_mean = sum(dist(u, v) for u, v in pairs if u != v) / len(pairs)
+        assert edge_mean < pair_mean
+
+    def test_deterministic(self, social_graph):
+        a = fruchterman_reingold_layout(social_graph, iterations=5, rng=6)
+        b = fruchterman_reingold_layout(social_graph, iterations=5, rng=6)
+        assert a == b
+
+
+class TestSvg:
+    def test_valid_xml(self, triangle):
+        pos = fruchterman_reingold_layout(triangle, iterations=5, rng=7)
+        doc = render_svg(triangle, pos, title="triangle")
+        root = ET.fromstring(doc)
+        assert root.tag.endswith("svg")
+
+    def test_node_and_edge_elements(self, triangle):
+        pos = fruchterman_reingold_layout(triangle, iterations=5, rng=8)
+        doc = render_svg(triangle, pos)
+        assert doc.count("<circle") == 3
+        assert doc.count("<line") == 3
+
+    def test_loops_skipped(self):
+        g = MultiGraph.from_edges([(0, 1), (1, 1)])
+        pos = {0: (0.2, 0.2), 1: (0.8, 0.8)}
+        doc = render_svg(g, pos)
+        assert doc.count("<line") == 1
+
+    def test_edge_truncation(self, social_graph):
+        pos = fruchterman_reingold_layout(social_graph, iterations=3, rng=9)
+        doc = render_svg(social_graph, pos, max_edges=10)
+        assert doc.count("<line") == 10
+        assert "truncated" in doc
+
+    def test_title_escaped(self, triangle):
+        pos = {u: (0.5, 0.5) for u in triangle.nodes()}
+        doc = render_svg(triangle, pos, title="a < b & c")
+        assert "a &lt; b &amp; c" in doc
+
+    def test_save_svg(self, tmp_path, triangle):
+        pos = fruchterman_reingold_layout(triangle, iterations=5, rng=10)
+        path = tmp_path / "t.svg"
+        save_svg(triangle, pos, path)
+        assert path.exists()
+        ET.fromstring(path.read_text())
