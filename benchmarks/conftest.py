@@ -15,6 +15,7 @@ the regenerated rows survive the run (EXPERIMENTS.md quotes them).
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -44,3 +45,8 @@ def write_result(name: str, text: str) -> None:
     """Persist one benchmark's formatted table."""
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / name).write_text(text + "\n", encoding="utf-8")
+
+
+def write_json(name: str, payload: dict) -> None:
+    """Persist one benchmark's machine-readable result next to the tables."""
+    write_result(name, json.dumps(payload, indent=2, sort_keys=True))

@@ -33,6 +33,7 @@ from repro.errors import (
     ConstructionError,
     DatasetError,
     ExperimentError,
+    EngineError,
 )
 from repro.graph import (
     MultiGraph,
@@ -101,6 +102,14 @@ from repro.metrics import (
     l1_distances,
     normalized_l1,
 )
+from repro.engine import (
+    CSRGraph,
+    freeze,
+    thaw,
+    batched_random_walks,
+    resolve_backend,
+)
+from repro.sampling.csr_access import CSRGraphAccess
 
 __version__ = "1.0.0"
 
@@ -113,6 +122,7 @@ __all__ = [
     "ConstructionError",
     "DatasetError",
     "ExperimentError",
+    "EngineError",
     "MultiGraph",
     "connected_components",
     "largest_connected_component",
@@ -166,4 +176,10 @@ __all__ = [
     "compute_properties",
     "l1_distances",
     "normalized_l1",
+    "CSRGraph",
+    "freeze",
+    "thaw",
+    "batched_random_walks",
+    "resolve_backend",
+    "CSRGraphAccess",
 ]

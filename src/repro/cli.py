@@ -60,11 +60,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command")
 
-    def common(p: argparse.ArgumentParser) -> None:
+    def common(p: argparse.ArgumentParser, backend: bool = True) -> None:
         p.add_argument("--runs", type=int, default=3, help="runs per cell (paper: 10)")
         p.add_argument("--rc", type=float, default=50.0, help="rewiring coefficient (paper: 500)")
         p.add_argument("--scale", type=float, default=1.0, help="dataset stand-in scale")
         p.add_argument("--seed", type=int, default=1, help="sweep master seed")
+        if backend:  # only commands that evaluate properties take the flag
+            p.add_argument(
+                "--backend",
+                choices=("auto", "python", "csr"),
+                default="auto",
+                help="property-evaluation compute backend (auto upgrades "
+                "large graphs to the CSR engine kernels)",
+            )
 
     p_fig3 = sub.add_parser("fig3", help="Figure 3: average L1 vs %% queried")
     common(p_fig3)
@@ -87,7 +95,7 @@ def _build_parser() -> argparse.ArgumentParser:
         common(p)
 
     p_fig4 = sub.add_parser("fig4", help="Figure 4: SVG graph portraits")
-    common(p_fig4)
+    common(p_fig4, backend=False)  # renders portraits; no property evaluation
     p_fig4.add_argument("--out", default="figures", help="output directory")
     p_fig4.add_argument("--dataset", default="anybeat")
 
@@ -129,7 +137,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _settings(args) -> tables.TableSettings:
     return tables.TableSettings(
-        runs=args.runs, rc=args.rc, scale=args.scale, seed=args.seed
+        runs=args.runs,
+        rc=args.rc,
+        scale=args.scale,
+        seed=args.seed,
+        backend=args.backend,
     )
 
 
@@ -142,6 +154,7 @@ def _cmd_fig3(args) -> str:
         rc=args.rc,
         scale=args.scale,
         seed=args.seed,
+        backend=args.backend,
     )
     series = figures.figure3_series(settings, datasets=datasets)
     return figures.format_figure3(series, fractions)
@@ -160,10 +173,7 @@ def _cmd_table4(args) -> str:
 
 
 def _cmd_table5(args) -> str:
-    settings = tables.TableSettings(
-        runs=args.runs, rc=args.rc, scale=args.scale, seed=args.seed
-    )
-    return tables.format_table5(tables.table5_rows(settings))
+    return tables.format_table5(tables.table5_rows(_settings(args)))
 
 
 def _cmd_fig4(args) -> str:
@@ -175,18 +185,34 @@ def _cmd_fig4(args) -> str:
 
 
 def _cmd_ablate(args) -> str:
+    from repro.metrics.suite import EvaluationConfig
+
+    evaluation = EvaluationConfig(backend=args.backend)
     blocks: list[str] = []
     if args.which in ("rewiring", "all"):
         rows = rewiring_exclusion_ablation(
-            dataset=args.dataset, rc=args.rc, scale=args.scale, seed=args.seed
+            dataset=args.dataset,
+            rc=args.rc,
+            scale=args.scale,
+            seed=args.seed,
+            evaluation=evaluation,
         )
         blocks.append(format_ablation(rows, "rewiring candidate exclusion"))
     if args.which in ("rc", "all"):
-        rows = rc_sweep_ablation(dataset=args.dataset, scale=args.scale, seed=args.seed)
+        rows = rc_sweep_ablation(
+            dataset=args.dataset,
+            scale=args.scale,
+            seed=args.seed,
+            evaluation=evaluation,
+        )
         blocks.append(format_ablation(rows, "rewiring budget (RC) sweep"))
     if args.which in ("subgraph", "all"):
         rows = subgraph_use_ablation(
-            dataset=args.dataset, rc=args.rc, scale=args.scale, seed=args.seed
+            dataset=args.dataset,
+            rc=args.rc,
+            scale=args.scale,
+            seed=args.seed,
+            evaluation=evaluation,
         )
         blocks.append(format_ablation(rows, "subgraph structure use"))
     return "\n\n".join(blocks)
@@ -217,6 +243,7 @@ def _cmd_convergence(args) -> str:
         runs=args.runs,
         scale=args.scale,
         seed=args.seed,
+        backend=args.backend,
     )
     return format_convergence(points, title=f"estimator convergence ({args.dataset})")
 

@@ -1,0 +1,42 @@
+"""Array-backed compute engine: CSR snapshots, vectorized kernels, dispatch.
+
+The engine is a parallel compute layer under the pure-Python reference
+implementation:
+
+* :mod:`repro.engine.csr` — :class:`CSRGraph` frozen snapshots
+  (:func:`freeze` / :func:`thaw`) of :class:`~repro.graph.multigraph.MultiGraph`.
+* :mod:`repro.engine.kernels` — numpy/scipy kernels: degree vector, joint
+  degree matrix, triangle counts and clustering coefficients, and batched
+  multi-seed random walks.
+* :mod:`repro.engine.dispatch` — ``backend="auto" | "python" | "csr"``
+  routing used by :mod:`repro.metrics`, the estimators, and the experiment
+  harness; ``auto`` upgrades large graphs to the CSR kernels and leaves
+  small ones on the bit-exact reference path.
+
+Query-accounted random walks over a snapshot live in
+:class:`repro.sampling.csr_access.CSRGraphAccess`, keeping the paper's
+access model in the sampling package where the other crawlers are.
+"""
+
+from repro.engine.csr import CSRGraph, freeze, thaw
+from repro.engine.dispatch import (
+    AUTO_EDGE_THRESHOLD,
+    BACKENDS,
+    ensure_csr,
+    ensure_multigraph,
+    resolve_backend,
+)
+from repro.engine.kernels import batched_random_walks, ensure_generator
+
+__all__ = [
+    "CSRGraph",
+    "freeze",
+    "thaw",
+    "AUTO_EDGE_THRESHOLD",
+    "BACKENDS",
+    "ensure_csr",
+    "ensure_multigraph",
+    "resolve_backend",
+    "batched_random_walks",
+    "ensure_generator",
+]

@@ -1,0 +1,238 @@
+"""Frozen CSR (compressed sparse row) snapshot of a :class:`MultiGraph`.
+
+The pure-Python :class:`~repro.graph.multigraph.MultiGraph` is a
+dict-of-dicts optimized for incremental mutation (rewiring, stub matching).
+Every read-heavy workload — walk simulation, joint-degree accumulation,
+triangle counting — pays interpreter overhead per edge on that layout.
+:class:`CSRGraph` is the complementary representation: an immutable,
+array-backed snapshot on which the kernels in
+:mod:`repro.engine.kernels` operate at numpy speed.
+
+Layout
+------
+The *edge-slot* expansion of the adjacency structure is stored:
+
+* ``indptr`` — ``int64[n + 1]`` row offsets.
+* ``indices`` — ``int64[2m]``; ``indices[indptr[i]:indptr[i + 1]]`` lists the
+  endpoint index of every edge incident to node ``i``, repeated by
+  multiplicity, with a self-loop contributing node ``i`` twice (the loop
+  occupies two edge slots, matching
+  :meth:`MultiGraph.incident_edge_endpoints`).
+
+With this expansion ``degree(i) == indptr[i + 1] - indptr[i]`` holds with no
+special casing, a uniform draw over a node's slots is exactly the walk's
+"choose an incident edge uniformly at random" step, and the scipy adjacency
+matrix (``A_uu`` = twice the loop count, the paper's convention) is one
+``sum_duplicates`` away.
+
+``freeze`` is the only O(m)-in-Python step; every kernel afterwards touches
+the arrays through vectorized numpy/scipy operations.  ``thaw`` restores an
+equivalent :class:`MultiGraph` (same nodes, same multiplicities), closing
+the round trip that the equivalence tests assert.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterator
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import GraphError
+from repro.graph.multigraph import MultiGraph, Node
+
+
+class CSRGraph:
+    """Immutable array-backed multigraph snapshot.
+
+    Construct via :func:`freeze`; the arrays are marked read-only and the
+    instance must be treated as frozen (kernels cache derived matrices on
+    it).  Node ids are arbitrary hashables; positional index ``i`` maps to
+    ``nodes[i]`` and back through :attr:`index`.
+    """
+
+    __slots__ = (
+        "_nodes",
+        "_index",
+        "_indptr",
+        "_indices",
+        "_num_edges",
+        "_adjacency_cache",
+        "_triangle_cache",
+    )
+
+    def __init__(
+        self,
+        nodes: tuple[Node, ...],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        num_edges: int,
+    ) -> None:
+        if indptr.shape != (len(nodes) + 1,):
+            raise GraphError("indptr must have num_nodes + 1 entries")
+        if indptr[-1] != indices.shape[0]:
+            raise GraphError("indices length must equal indptr[-1]")
+        if indices.shape[0] != 2 * num_edges:
+            raise GraphError("slot count must equal 2 * num_edges")
+        self._nodes = nodes
+        self._index: dict[Node, int] = {u: i for i, u in enumerate(nodes)}
+        self._indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self._indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self._indptr.setflags(write=False)
+        self._indices.setflags(write=False)
+        self._num_edges = int(num_edges)
+        self._adjacency_cache: dict[bool, sparse.csr_matrix] = {}
+        self._triangle_cache: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges (parallels individually, loops once)."""
+        return self._num_edges
+
+    @property
+    def node_list(self) -> tuple[Node, ...]:
+        """Positional index -> original node id."""
+        return self._nodes
+
+    @property
+    def index(self) -> dict[Node, int]:
+        """Original node id -> positional index."""
+        return self._index
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Read-only ``int64[n + 1]`` row offsets."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Read-only ``int64[2m]`` edge-slot endpoint indices."""
+        return self._indices
+
+    def degree_array(self) -> np.ndarray:
+        """``int64[n]`` degree vector (loops contribute 2)."""
+        return np.diff(self._indptr)
+
+    def neighbor_slots(self, i: int) -> np.ndarray:
+        """Edge-slot endpoints of positional node ``i`` (read-only view)."""
+        return self._indices[self._indptr[i] : self._indptr[i + 1]]
+
+    def adjacency_matrix(self, drop_loops: bool = False) -> sparse.csr_matrix:
+        """Scipy CSR adjacency with ``A_uu`` = twice the loop count.
+
+        Built vectorized from the slot arrays on first use and cached (one
+        slot per ``drop_loops`` value); the matrix is shared by every kernel
+        run on this snapshot, so repeated metrics pay the construction once.
+        """
+        cached = self._adjacency_cache.get(drop_loops)
+        if cached is not None:
+            return cached
+        n = self.num_nodes
+        src = np.repeat(np.arange(n, dtype=np.int64), self.degree_array())
+        dst = self._indices
+        if drop_loops:
+            keep = src != dst
+            src, dst = src[keep], dst[keep]
+        mat = sparse.csr_matrix(
+            (np.ones(src.shape[0], dtype=np.float64), (src, dst)), shape=(n, n)
+        )
+        mat.sum_duplicates()
+        self._adjacency_cache[drop_loops] = mat
+        return mat
+
+    # ------------------------------------------------------------------
+    # MultiGraph-compatible queries (GraphAccess duck-typing surface)
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over node ids in positional order."""
+        return iter(self._nodes)
+
+    def has_node(self, u: Node) -> bool:
+        """True if ``u`` is a node of the snapshot."""
+        return u in self._index
+
+    def degree(self, u: Node) -> int:
+        """Degree of ``u`` (loops contribute 2)."""
+        try:
+            i = self._index[u]
+        except KeyError:
+            raise GraphError(f"node {u!r} not in graph") from None
+        return int(self._indptr[i + 1] - self._indptr[i])
+
+    def incident_edge_endpoints(self, u: Node) -> list[Node]:
+        """Endpoints of the edges incident to ``u``, repeated by multiplicity.
+
+        Same contract as :meth:`MultiGraph.incident_edge_endpoints`, so a
+        :class:`~repro.sampling.access.GraphAccess` can serve neighbor
+        queries straight from the snapshot.
+        """
+        try:
+            i = self._index[u]
+        except KeyError:
+            raise GraphError(f"node {u!r} not in graph") from None
+        nodes = self._nodes
+        return [nodes[j] for j in self.neighbor_slots(i)]
+
+    def __contains__(self, u: Node) -> bool:
+        return u in self._index
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CSRGraph(n={self.num_nodes}, m={self.num_edges})"
+
+
+def freeze(graph: MultiGraph) -> CSRGraph:
+    """Snapshot ``graph`` into a :class:`CSRGraph`.
+
+    Node positional order is the graph's insertion order; each node's slot
+    segment preserves its adjacency-dict insertion order, so ``thaw`` can
+    rebuild an identically ordered structure.
+    """
+    nodes = tuple(graph.nodes())
+    index = {u: i for i, u in enumerate(nodes)}
+    n = len(nodes)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for i, u in enumerate(nodes):
+        indptr[i + 1] = indptr[i] + graph.degree(u)
+    indices = np.empty(int(indptr[-1]), dtype=np.int64)
+    pos = 0
+    for u in nodes:
+        for v, a in graph.adjacency_view(u).items():
+            j = index[v]
+            indices[pos : pos + a] = j
+            pos += a
+    return CSRGraph(nodes, indptr, indices, graph.num_edges)
+
+
+def thaw(csr: CSRGraph) -> MultiGraph:
+    """Rebuild a :class:`MultiGraph` equivalent to the snapshot.
+
+    The result has the same node set (same insertion order), the same edge
+    multiset — multiplicities and loops included — and therefore identical
+    values for every structural property.
+    """
+    g = MultiGraph()
+    nodes = csr.node_list
+    for u in nodes:
+        g.add_node(u)
+    for i, u in enumerate(nodes):
+        counts = Counter(csr.neighbor_slots(i).tolist())
+        for j, a in counts.items():
+            if j > i:
+                for _ in range(a):
+                    g.add_edge(u, nodes[j])
+            elif j == i:
+                for _ in range(a // 2):
+                    g.add_edge(u, u)
+    return g

@@ -1,0 +1,182 @@
+"""Backend dispatch: route structural computations to Python or CSR kernels.
+
+Every function here accepts either a mutable :class:`MultiGraph` or a frozen
+:class:`CSRGraph` plus a ``backend`` selector:
+
+* ``"python"`` — the reference dict-of-dicts implementation in
+  :mod:`repro.metrics`; always available, bit-for-bit the historical
+  behavior.
+* ``"csr"`` — the vectorized kernels in :mod:`repro.engine.kernels` on a
+  frozen snapshot (frozen on demand, with caching — see below).
+* ``"auto"`` — ``csr`` when the workload is large enough to amortize the
+  freeze (``num_edges >= AUTO_EDGE_THRESHOLD``) or when the input is
+  already a snapshot; ``python`` otherwise.  The ``REPRO_BACKEND``
+  environment variable, when set to ``python`` or ``csr``, overrides the
+  size heuristic (useful for A/B runs without threading a flag through
+  every call site).
+
+Freeze caching
+--------------
+``freeze`` is the engine's only per-edge Python loop, so it must not run
+once per metric.  :func:`ensure_csr` keeps one snapshot per live
+``MultiGraph`` in a :class:`weakref.WeakKeyDictionary`, keyed alongside the
+graph's mutation :attr:`~repro.graph.multigraph.MultiGraph.version`; any
+structural change invalidates the entry, so a rewired graph is never served
+a stale snapshot.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+
+from repro.engine import kernels
+from repro.engine.csr import CSRGraph, freeze, thaw
+from repro.errors import EngineError
+from repro.graph.multigraph import MultiGraph, Node
+
+DegreePair = tuple[int, int]
+
+BACKENDS: tuple[str, ...] = ("auto", "python", "csr")
+
+#: Edge count at which ``auto`` switches to the CSR kernels.  Below it the
+#: freeze cost dominates the kernel win; above it the vectorized path pays
+#: for itself within a single metric evaluation.
+AUTO_EDGE_THRESHOLD = 20_000
+
+_ENV_VAR = "REPRO_BACKEND"
+
+_freeze_cache: "weakref.WeakKeyDictionary[MultiGraph, tuple[int, CSRGraph]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def resolve_backend(backend: str = "auto", *, size: int | None = None) -> str:
+    """Resolve ``backend`` to a concrete ``"python"`` or ``"csr"``.
+
+    ``size`` is the workload measure compared against
+    :data:`AUTO_EDGE_THRESHOLD` (edge count for graph kernels, walk length
+    for sequence kernels); ``None`` means unknown and resolves to
+    ``python``.
+    """
+    if backend not in BACKENDS:
+        raise EngineError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if backend != "auto":
+        return backend
+    env = os.environ.get(_ENV_VAR, "").strip().lower()
+    if env in ("python", "csr"):
+        return env
+    if env and env != "auto":
+        raise EngineError(
+            f"invalid {_ENV_VAR}={env!r}; expected 'auto', 'python', or 'csr'"
+        )
+    if size is not None and size >= AUTO_EDGE_THRESHOLD:
+        return "csr"
+    return "python"
+
+
+def ensure_csr(graph: MultiGraph | CSRGraph) -> CSRGraph:
+    """Snapshot of ``graph`` (cached per graph identity and version)."""
+    if isinstance(graph, CSRGraph):
+        return graph
+    version = graph.version
+    cached = _freeze_cache.get(graph)
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    csr = freeze(graph)
+    _freeze_cache[graph] = (version, csr)
+    return csr
+
+
+def ensure_multigraph(graph: MultiGraph | CSRGraph) -> MultiGraph:
+    """Mutable view of ``graph`` (thawed when given a snapshot)."""
+    if isinstance(graph, CSRGraph):
+        return thaw(graph)
+    return graph
+
+
+def _resolve_for(graph: MultiGraph | CSRGraph, backend: str) -> str:
+    if backend not in BACKENDS:
+        raise EngineError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if isinstance(graph, CSRGraph):
+        # a snapshot in hand makes csr free; only an explicit "python" thaws
+        return "csr" if backend == "auto" else backend
+    return resolve_backend(backend, size=graph.num_edges)
+
+
+# ----------------------------------------------------------------------
+# dispatched computations
+# ----------------------------------------------------------------------
+def degree_vector(
+    graph: MultiGraph | CSRGraph, backend: str = "auto"
+) -> dict[int, int]:
+    """``{n(k)}`` over ``k >= 1`` on the selected backend."""
+    if _resolve_for(graph, backend) == "csr":
+        return kernels.degree_vector(ensure_csr(graph))
+    from repro.metrics import basic
+
+    return basic.degree_vector(ensure_multigraph(graph))
+
+
+def degree_distribution(
+    graph: MultiGraph | CSRGraph, backend: str = "auto"
+) -> dict[int, float]:
+    """``{P(k)}`` on the selected backend."""
+    if _resolve_for(graph, backend) == "csr":
+        return kernels.degree_distribution(ensure_csr(graph))
+    from repro.metrics import basic
+
+    return basic.degree_distribution(ensure_multigraph(graph))
+
+
+def joint_degree_matrix(
+    graph: MultiGraph | CSRGraph, backend: str = "auto"
+) -> dict[DegreePair, int]:
+    """``{m(k,k')}`` on the selected backend."""
+    if _resolve_for(graph, backend) == "csr":
+        return kernels.joint_degree_matrix(ensure_csr(graph))
+    from repro.metrics import basic
+
+    return basic.joint_degree_matrix(ensure_multigraph(graph))
+
+
+def joint_degree_distribution(
+    graph: MultiGraph | CSRGraph, backend: str = "auto"
+) -> dict[DegreePair, float]:
+    """``{P(k,k')}`` on the selected backend."""
+    if _resolve_for(graph, backend) == "csr":
+        return kernels.joint_degree_distribution(ensure_csr(graph))
+    from repro.metrics import basic
+
+    return basic.joint_degree_distribution(ensure_multigraph(graph))
+
+
+def triangles_per_node(
+    graph: MultiGraph | CSRGraph, backend: str = "auto"
+) -> dict[Node, float]:
+    """``{t_i}`` on the selected backend."""
+    if _resolve_for(graph, backend) == "csr":
+        return kernels.triangles_per_node(ensure_csr(graph))
+    from repro.metrics import clustering
+
+    return clustering.triangles_per_node(ensure_multigraph(graph))
+
+
+def network_clustering(graph: MultiGraph | CSRGraph, backend: str = "auto") -> float:
+    """``c̄`` on the selected backend."""
+    if _resolve_for(graph, backend) == "csr":
+        return kernels.network_clustering(ensure_csr(graph))
+    from repro.metrics import clustering
+
+    return clustering.network_clustering(ensure_multigraph(graph))
+
+
+def degree_dependent_clustering(
+    graph: MultiGraph | CSRGraph, backend: str = "auto"
+) -> dict[int, float]:
+    """``{c̄(k)}`` on the selected backend."""
+    if _resolve_for(graph, backend) == "csr":
+        return kernels.degree_dependent_clustering(ensure_csr(graph))
+    from repro.metrics import clustering
+
+    return clustering.degree_dependent_clustering(ensure_multigraph(graph))

@@ -39,3 +39,7 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness for invalid configurations."""
+
+
+class EngineError(ReproError):
+    """Raised by the array engine for unknown backends or invalid kernels."""

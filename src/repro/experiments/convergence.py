@@ -43,10 +43,12 @@ def estimator_convergence(
     scale: float = 1.0,
     seed: int = 1,
     original: MultiGraph | None = None,
+    backend: str = "python",
 ) -> list[ConvergencePoint]:
     """Sweep crawl fractions; return mean errors per estimator.
 
-    ``original`` overrides the dataset lookup (tests inject small graphs).
+    ``original`` overrides the dataset lookup (tests inject small graphs);
+    ``backend`` is forwarded to the walk estimators.
     """
     graph = original if original is not None else load_dataset(dataset, scale=scale)
     exact = exact_local_properties(graph)
@@ -58,7 +60,7 @@ def estimator_convergence(
         lengths: list[float] = []
         for _ in range(runs):
             walk = random_walk(GraphAccess(graph), target, rng=rng)
-            est = estimate_local_properties(walk)
+            est = estimate_local_properties(walk, backend=backend)
             lengths.append(walk.length)
             run_errors["n"].append(relative_error(exact.num_nodes, est.num_nodes))
             run_errors["kbar"].append(

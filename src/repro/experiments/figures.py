@@ -35,6 +35,7 @@ class Figure3Settings:
     seed: int = 1
     methods: tuple[str, ...] = METHOD_NAMES
     evaluation: EvaluationConfig = field(default_factory=EvaluationConfig)
+    backend: str | None = None
 
 
 def figure3_series(
@@ -56,6 +57,7 @@ def figure3_series(
                 scale=s.scale,
                 seed=s.seed,
                 evaluation=s.evaluation,
+                backend=s.backend,
             )
             aggregates = run_experiment(config)
             for m in s.methods:

@@ -9,7 +9,7 @@ times are averaged over rounds as well (Table IV / V).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import ExperimentError
 from repro.graph.datasets import load_dataset
@@ -36,6 +36,9 @@ class ExperimentConfig:
     ``scale`` shrinks the dataset stand-in (benches use < 1 to bound sweep
     time); ``rc`` is the rewiring coefficient shared by both generative
     methods; ``evaluation`` controls exact-vs-sampled global metrics.
+    ``backend`` (``"auto" | "python" | "csr"``), when set, overrides the
+    evaluation config's compute backend for every property evaluation in
+    the cell — the CLI's ``--backend`` lands here.
     """
 
     dataset: str
@@ -47,6 +50,13 @@ class ExperimentConfig:
     seed: int = 1
     evaluation: EvaluationConfig = field(default_factory=EvaluationConfig)
     max_rewiring_attempts: int | None = None
+    backend: str | None = None
+
+    def evaluation_config(self) -> EvaluationConfig:
+        """The evaluation config with any ``backend`` override applied."""
+        if self.backend is None or self.backend == self.evaluation.backend:
+            return self.evaluation
+        return replace(self.evaluation, backend=self.backend)
 
 
 @dataclass
@@ -78,7 +88,8 @@ def run_experiment(
     graph = original if original is not None else load_dataset(
         config.dataset, scale=config.scale
     )
-    truth = compute_properties(graph, config.evaluation)
+    evaluation = config.evaluation_config()
+    truth = compute_properties(graph, evaluation)
     rng = ensure_rng(config.seed)
 
     distances: dict[str, list[dict[str, float]]] = {m: [] for m in config.methods}
@@ -95,7 +106,7 @@ def run_experiment(
             max_rewiring_attempts=config.max_rewiring_attempts,
         )
         for method, output in outputs.items():
-            generated = compute_properties(output.graph, config.evaluation)
+            generated = compute_properties(output.graph, evaluation)
             distances[method].append(l1_distances(truth, generated))
             times[method].append(output.total_seconds)
             rewire_times[method].append(output.rewiring_seconds)

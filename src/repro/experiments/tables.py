@@ -36,6 +36,7 @@ class TableSettings:
     seed: int = 1
     evaluation: EvaluationConfig = field(default_factory=EvaluationConfig)
     methods: tuple[str, ...] = METHOD_NAMES
+    backend: str | None = None
 
 
 def _cell(dataset: str, settings: TableSettings, fraction: float | None = None):
@@ -48,6 +49,7 @@ def _cell(dataset: str, settings: TableSettings, fraction: float | None = None):
         scale=settings.scale,
         seed=settings.seed,
         evaluation=settings.evaluation,
+        backend=settings.backend,
     )
 
 

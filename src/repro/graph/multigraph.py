@@ -33,6 +33,7 @@ class MultiGraph:
     def __init__(self) -> None:
         self._adj: dict[Node, dict[Node, int]] = {}
         self._num_edges = 0
+        self._version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -50,8 +51,12 @@ class MultiGraph:
         return g
 
     def copy(self) -> "MultiGraph":
-        """Deep copy of the adjacency structure."""
-        g = MultiGraph()
+        """Deep copy of the adjacency structure.
+
+        Constructed via ``type(self)()`` so subclasses (engine-backed
+        wrappers included) copy into their own type.
+        """
+        g = type(self)()
         g._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
         g._num_edges = self._num_edges
         return g
@@ -63,6 +68,7 @@ class MultiGraph:
         """Add node ``u`` (no-op when already present)."""
         if u not in self._adj:
             self._adj[u] = {}
+            self._version += 1
 
     def has_node(self, u: Node) -> bool:
         """True if ``u`` is a node of the graph."""
@@ -88,6 +94,7 @@ class MultiGraph:
                 self._num_edges -= a
                 del self._adj[v][u]
         del self._adj[u]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # edges
@@ -102,6 +109,7 @@ class MultiGraph:
             self._adj[u][v] = self._adj[u].get(v, 0) + 1
             self._adj[v][u] = self._adj[v].get(u, 0) + 1
         self._num_edges += 1
+        self._version += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove one copy of edge ``(u, v)``; raises when absent."""
@@ -123,6 +131,7 @@ class MultiGraph:
                 self._adj[u][v] = a - 1
                 self._adj[v][u] = a - 1
         self._num_edges -= 1
+        self._version += 1
 
     def has_edge(self, u: Node, v: Node) -> bool:
         """True if at least one edge joins ``u`` and ``v``."""
@@ -140,6 +149,16 @@ class MultiGraph:
     def num_edges(self) -> int:
         """Number of edges, counting parallels individually and loops once."""
         return self._num_edges
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped by every structural change.
+
+        The engine's freeze cache (:mod:`repro.engine.dispatch`) keys CSR
+        snapshots on ``(graph, version)`` so a snapshot is never served for
+        a graph that has been rewired since it was frozen.
+        """
+        return self._version
 
     def edges(self) -> Iterator[tuple[Node, Node]]:
         """Iterate over edges with multiplicity, each once, loops included.

@@ -13,32 +13,48 @@ from repro.estimators.joint_degree import DegreePair
 from repro.graph.multigraph import MultiGraph
 
 
-def degree_vector(graph: MultiGraph) -> dict[int, int]:
+def degree_vector(graph: MultiGraph, backend: str = "python") -> dict[int, int]:
     """``{n(k)}``: number of nodes of each degree ``k >= 1``.
 
     Degree-0 nodes are excluded: the paper's degree vectors start at
     ``k = 1`` (its graphs are connected) and the dK machinery never places
     isolated nodes.
+
+    ``backend`` selects the compute path (``"python"`` here keeps the
+    reference loop; ``"csr"`` / ``"auto"`` route through
+    :mod:`repro.engine.dispatch`).
     """
+    if backend != "python":
+        from repro.engine import dispatch
+
+        return dispatch.degree_vector(graph, backend=backend)
     hist = graph.degree_histogram()
     return {k: c for k, c in hist.items() if k >= 1}
 
 
-def degree_distribution(graph: MultiGraph) -> dict[int, float]:
+def degree_distribution(
+    graph: MultiGraph, backend: str = "python"
+) -> dict[int, float]:
     """``{P(k) = n(k) / n}`` over degrees ``k >= 1``."""
     n = graph.num_nodes
     if n == 0:
         return {}
-    return {k: c / n for k, c in degree_vector(graph).items()}
+    return {k: c / n for k, c in degree_vector(graph, backend=backend).items()}
 
 
-def joint_degree_matrix(graph: MultiGraph) -> dict[DegreePair, int]:
+def joint_degree_matrix(
+    graph: MultiGraph, backend: str = "python"
+) -> dict[DegreePair, int]:
     """``{m(k, k')}``: edges between degree classes, stored symmetrically.
 
     ``m(k, k')`` counts each edge once; the mapping carries both ``(k, k')``
     and ``(k', k)`` with equal values so lookups need no canonicalization.
     Loops at a degree-``k`` node count toward ``m(k, k)`` (one per loop).
     """
+    if backend != "python":
+        from repro.engine import dispatch
+
+        return dispatch.joint_degree_matrix(graph, backend=backend)
     degrees = graph.degrees()
     m: dict[DegreePair, int] = {}
     for u, v in graph.edges():
@@ -51,7 +67,9 @@ def joint_degree_matrix(graph: MultiGraph) -> dict[DegreePair, int]:
     return m
 
 
-def joint_degree_distribution(graph: MultiGraph) -> dict[DegreePair, float]:
+def joint_degree_distribution(
+    graph: MultiGraph, backend: str = "python"
+) -> dict[DegreePair, float]:
     """``{P(k,k') = mu(k,k') m(k,k') / (2m)}`` (Eq. (3)), symmetric sparse.
 
     The diagonal factor ``mu(k,k) = 2`` makes the entries sum to 1.
@@ -60,7 +78,7 @@ def joint_degree_distribution(graph: MultiGraph) -> dict[DegreePair, float]:
     if total == 0:
         return {}
     out: dict[DegreePair, float] = {}
-    for (k, kp), count in joint_degree_matrix(graph).items():
+    for (k, kp), count in joint_degree_matrix(graph, backend=backend).items():
         mu = 2 if k == kp else 1
         out[(k, kp)] = mu * count / (2.0 * total)
     return out

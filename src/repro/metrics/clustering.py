@@ -15,8 +15,18 @@ from repro.graph.multigraph import MultiGraph, Node
 from repro.metrics.matrix import node_ordering, to_csr
 
 
-def triangles_per_node(graph: MultiGraph) -> dict[Node, float]:
-    """``{t_i}``: (possibly fractional-free) triangle count through each node."""
+def triangles_per_node(
+    graph: MultiGraph, backend: str = "python"
+) -> dict[Node, float]:
+    """``{t_i}``: (possibly fractional-free) triangle count through each node.
+
+    ``backend`` selects the compute path (``"csr"`` / ``"auto"`` route
+    through :mod:`repro.engine.dispatch` onto a frozen snapshot).
+    """
+    if backend != "python":
+        from repro.engine import dispatch
+
+        return dispatch.triangles_per_node(graph, backend=backend)
     if graph.num_nodes == 0:
         return {}
     nodes, index = node_ordering(graph)
@@ -27,12 +37,16 @@ def triangles_per_node(graph: MultiGraph) -> dict[Node, float]:
     return {u: diag3[i] / 2.0 for i, u in enumerate(nodes)}
 
 
-def network_clustering(graph: MultiGraph) -> float:
+def network_clustering(graph: MultiGraph, backend: str = "python") -> float:
     """Network clustering coefficient ``c̄ = (1/n) sum_i 2 t_i / (d_i (d_i - 1))``.
 
     Nodes of degree < 2 contribute 0 (their local coefficient is undefined
     and conventionally zero).
     """
+    if backend != "python":
+        from repro.engine import dispatch
+
+        return dispatch.network_clustering(graph, backend=backend)
     n = graph.num_nodes
     if n == 0:
         return 0.0
@@ -45,8 +59,14 @@ def network_clustering(graph: MultiGraph) -> float:
     return total / n
 
 
-def degree_dependent_clustering(graph: MultiGraph) -> dict[int, float]:
+def degree_dependent_clustering(
+    graph: MultiGraph, backend: str = "python"
+) -> dict[int, float]:
     """``{c̄(k)}``: mean local clustering of degree-``k`` nodes, ``c̄(1) = 0``."""
+    if backend != "python":
+        from repro.engine import dispatch
+
+        return dispatch.degree_dependent_clustering(graph, backend=backend)
     if graph.num_nodes == 0:
         return {}
     tri = triangles_per_node(graph)

@@ -69,12 +69,18 @@ class EvaluationConfig:
     betweenness computations stay exact; larger graphs use ``path_sources``
     BFS sources and ``betweenness_pivots`` Brandes pivots.  The defaults
     keep a full 6-method x 10-run sweep tractable in pure Python.
+
+    ``backend`` selects the compute path for the properties with engine
+    kernels (degree distribution, clustering family): ``"auto"`` routes
+    large graphs through :mod:`repro.engine.dispatch` onto frozen CSR
+    snapshots and leaves small ones on the reference implementation.
     """
 
     exact_threshold: int = 600
     path_sources: int = 128
     betweenness_pivots: int = 64
     seed: int = 7
+    backend: str = "auto"
 
     def sources_for(self, graph: MultiGraph) -> int | None:
         """BFS source budget for ``graph`` (None = exact)."""
@@ -127,10 +133,10 @@ def compute_properties(
     return PropertySet(
         num_nodes=float(graph.num_nodes),
         average_degree=graph.average_degree(),
-        degree_distribution=degree_distribution(graph),
+        degree_distribution=degree_distribution(graph, backend=cfg.backend),
         neighbor_connectivity=neighbor_connectivity(graph),
-        clustering=network_clustering(graph),
-        degree_clustering=degree_dependent_clustering(graph),
+        clustering=network_clustering(graph, backend=cfg.backend),
+        degree_clustering=degree_dependent_clustering(graph, backend=cfg.backend),
         shared_partners=shared_partner_distribution(graph),
         average_path_length=paths.average_length,
         path_length_distribution=paths.length_distribution,

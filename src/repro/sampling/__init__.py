@@ -8,6 +8,7 @@ subgraph sampling only).
 """
 
 from repro.sampling.access import GraphAccess
+from repro.sampling.csr_access import CSRGraphAccess
 from repro.sampling.walkers import (
     SamplingList,
     random_walk,
@@ -27,6 +28,7 @@ from repro.sampling.subgraph import SampledSubgraph, build_subgraph
 __all__ = [
     "frontier_sampling",
     "GraphAccess",
+    "CSRGraphAccess",
     "SamplingList",
     "random_walk",
     "non_backtracking_random_walk",

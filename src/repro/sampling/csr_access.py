@@ -1,0 +1,121 @@
+"""CSR-backed :class:`GraphAccess`: the access model over a frozen snapshot.
+
+The paper's evaluation protocol never lets an algorithm see the hidden
+graph except through neighbor queries (Section III-A), and
+:class:`~repro.sampling.access.GraphAccess` enforces that contract.
+:class:`CSRGraphAccess` keeps the exact same contract — same memoized
+``query`` / ``degree`` / ``random_seed`` surface, same distinct-node
+accounting and budget enforcement — but serves every query from a frozen
+:class:`~repro.engine.csr.CSRGraph`, and adds :meth:`batched_walks`:
+multi-seed simple random walks whose *step choice* is one vectorized draw
+per round while every visited node is still recorded through ``query``.
+
+Any crawler in this package runs unchanged on a :class:`CSRGraphAccess`,
+so experiments can freeze a large dataset once and fan out crawls without
+re-paying dict-of-dicts traversal per walker.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.engine.csr import CSRGraph
+from repro.engine.dispatch import ensure_csr
+from repro.engine.kernels import ensure_generator, step_walkers
+from repro.errors import GraphError, SamplingError
+from repro.graph.multigraph import MultiGraph, Node
+from repro.sampling.access import GraphAccess
+from repro.sampling.walkers import SamplingList
+
+
+class CSRGraphAccess(GraphAccess):
+    """Drop-in :class:`GraphAccess` over a frozen CSR snapshot.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`CSRGraph`, or a :class:`MultiGraph` which is frozen on
+        construction (through the engine's snapshot cache).
+    budget:
+        Same distinct-node query cap as the base class.
+    """
+
+    def __init__(
+        self, graph: MultiGraph | CSRGraph, budget: int | None = None
+    ) -> None:
+        csr = ensure_csr(graph)
+        # the base class only touches the neighbor-query surface, which the
+        # snapshot provides; all accounting state lives in the base class
+        super().__init__(csr, budget)  # type: ignore[arg-type]
+        self._csr = csr
+
+    @property
+    def csr(self) -> CSRGraph:
+        """The underlying frozen snapshot."""
+        return self._csr
+
+    def random_seed(self, rng: random.Random | int | None = None) -> Node:
+        """Uniform random seed node (array-backed, no node-list copy)."""
+        gen = ensure_generator(rng)
+        return self._csr.node_list[int(gen.integers(0, self._csr.num_nodes))]
+
+    # ------------------------------------------------------------------
+    # batched walking
+    # ------------------------------------------------------------------
+    def batched_walks(
+        self,
+        num_walks: int,
+        target_queried: int,
+        seeds: list[Node] | None = None,
+        rng: np.random.Generator | random.Random | int | None = None,
+        max_steps: int | None = None,
+    ) -> list[SamplingList]:
+        """Run ``num_walks`` simple random walks in lockstep until the
+        combined crawl has queried ``target_queried`` distinct nodes.
+
+        Each round records every walker's current node through
+        :meth:`query` — so accounting, memoization, and the budget are
+        exactly the single-walk semantics — then advances all walkers with
+        one vectorized uniform-incident-edge draw.  The batch stops at the
+        end of the first round that reaches the target (all walkers finish
+        the round, keeping their sampling lists aligned in length).
+
+        Returns one :class:`SamplingList` per walker, consumable by the
+        re-weighted estimators individually or merged.
+        """
+        if num_walks < 1:
+            raise SamplingError("need at least one walker")
+        if seeds is not None and len(seeds) != num_walks:
+            raise SamplingError(
+                f"got {len(seeds)} seeds for {num_walks} walkers"
+            )
+        gen = ensure_generator(rng)
+        csr = self._csr
+        if seeds is None:
+            current = gen.integers(0, csr.num_nodes, size=num_walks)
+        else:
+            try:
+                current = np.asarray(
+                    [csr.index[s] for s in seeds], dtype=np.int64
+                )
+            except KeyError as exc:
+                raise SamplingError(f"seed node {exc.args[0]!r} does not exist")
+        cap = max_steps if max_steps is not None else 1000 * max(target_queried, 1)
+        walks = [SamplingList() for _ in range(num_walks)]
+        node_list = csr.node_list
+        for _ in range(cap):
+            for walk, i in zip(walks, current.tolist()):
+                node = node_list[i]
+                walk.record(node, self.query(node))
+            if self.num_queried >= target_queried:
+                return walks
+            try:
+                current = step_walkers(csr, current, gen)
+            except GraphError as exc:
+                raise SamplingError(str(exc)) from None
+        raise SamplingError(
+            f"batched walk did not reach {target_queried} distinct nodes "
+            f"within {cap} rounds (graph too small or disconnected?)"
+        )
