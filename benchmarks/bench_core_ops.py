@@ -2,20 +2,33 @@
 
 Not a paper table — these guard the implementation's performance envelope:
 rewiring throughput (the bottleneck the paper optimizes), estimator cost,
-stub-matching construction, and the evaluation suite itself.
+stub-matching construction, and the evaluation suite itself.  The
+threshold-calibration test at the bottom measures, per engine kernel, the
+edge count at which ``freeze + CSR kernel`` breaks even with the pure
+Python path — the data behind
+:data:`repro.engine.dispatch.AUTO_KERNEL_THRESHOLDS`.
 """
 
 from __future__ import annotations
 
-from conftest import BENCH_EVAL, BENCH_SCALE
+import math
+import time
 
+from conftest import BENCH_EVAL, BENCH_SCALE, write_json, write_result
+
+from repro.dk.dk_series import generate_2k
 from repro.dk.rewiring import RewiringEngine
+from repro.engine import kernels
+from repro.engine.csr import freeze
 from repro.estimators.local import estimate_local_properties
 from repro.graph.datasets import load_dataset
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.metrics import basic, clustering
 from repro.metrics.clustering import degree_dependent_clustering
 from repro.metrics.suite import compute_properties
 from repro.restore.restorer import restore_from_walk
 from repro.sampling.access import GraphAccess
+from repro.sampling.csr_access import independent_batched_walks
 from repro.sampling.walkers import random_walk
 
 
@@ -69,3 +82,148 @@ def test_bench_property_suite(benchmark):
         lambda: compute_properties(graph, BENCH_EVAL), rounds=1, iterations=1
     )
     assert props.num_nodes == graph.num_nodes
+
+
+# ----------------------------------------------------------------------
+# AUTO threshold calibration: freeze break-even per kernel
+# ----------------------------------------------------------------------
+CALIBRATION_SIZES = (500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000)
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _calibration_graph(edges: int):
+    n = max(20, edges // 3)
+    return powerlaw_cluster_graph(n, 3, 0.1, rng=edges)
+
+
+#: The metric suite computes several engine-backed properties per frozen
+#: snapshot (JDM, triangle counts, both clustering aggregates, the degree
+#: vector), so the freeze is amortized across roughly this many kernel
+#: evaluations in the workloads ``auto`` serves.
+FREEZE_SHARERS = 4
+
+
+def _metric_cases(graph, csr):
+    return (
+        ("degree", lambda: basic.degree_vector(graph),
+         lambda: kernels.degree_vector(csr)),
+        ("jdm", lambda: basic.joint_degree_matrix(graph),
+         lambda: kernels.joint_degree_matrix(csr)),
+        ("triangles", lambda: clustering.triangles_per_node(graph),
+         lambda: kernels.triangles_per_node(csr)),
+        ("clustering", lambda: clustering.degree_dependent_clustering(graph),
+         lambda: kernels.degree_dependent_clustering(csr)),
+    )
+
+
+def test_bench_auto_threshold_calibration(results_dir):
+    """Measure the per-kernel freeze break-even point over graph sizes.
+
+    Metric kernels are timed warm (snapshot in hand) with the freeze timed
+    separately: the dispatch layer caches one snapshot per graph version
+    and the evaluation suite shares it across ~:data:`FREEZE_SHARERS`
+    kernels, so the relevant break-even charges each kernel a *share* of
+    the freeze (the fresh-freeze numbers are recorded too).  Walks and
+    rewiring are timed end to end with size-proportional work (crawl 10%
+    of nodes; ``rc = 1`` worth of rewiring attempts), construction cost
+    included.  The committed JSON is the provenance of
+    ``AUTO_KERNEL_THRESHOLDS`` in ``repro/engine/dispatch.py``.
+    """
+    measured: dict[str, list[dict]] = {}
+    for edges in CALIBRATION_SIZES:
+        graph = _calibration_graph(edges)
+        m = graph.num_edges
+        freeze_seconds = _best_of(lambda: freeze(graph))
+        csr = freeze(graph)
+        # snapshot caches (adjacency / triangles) must stay cold per call,
+        # matching the python side's recompute-per-call cost model
+        for name, py_fn, csr_fn in _metric_cases(graph, csr):
+            def cold(f=csr_fn):
+                csr._triangle_cache = None
+                csr._adjacency_cache.clear()
+                f()
+
+            measured.setdefault(name, []).append({
+                "edges": m,
+                "freeze_seconds": freeze_seconds,
+                "python_seconds": _best_of(py_fn),
+                "csr_seconds": _best_of(cold),
+            })
+
+        # a convergence-style cell: several independent rounds per snapshot
+        walk_target = max(3, graph.num_nodes // 10)
+        num_walks = 8
+
+        def walks_py():
+            for i in range(num_walks):
+                random_walk(GraphAccess(graph), walk_target, rng=i)
+
+        measured.setdefault("walks", []).append({
+            "edges": m,
+            "python_seconds": _best_of(walks_py),
+            "csr_seconds": _best_of(
+                lambda: independent_batched_walks(
+                    graph.copy(), num_walks, walk_target, rng=1
+                )
+            ),
+        })
+
+        # the pipeline's workload shape: 2K-constructed graph climbing
+        # toward the original's clustering, one RC unit of attempts
+        target = clustering.degree_dependent_clustering(graph)
+        base = generate_2k(graph, rng=7)
+
+        def rewire(backend):
+            g = base.copy()
+            RewiringEngine(g, target, rng=2, backend=backend).run(rc=1.0)
+
+        measured.setdefault("rewiring", []).append({
+            "edges": m,
+            "python_seconds": _best_of(lambda: rewire("python")),
+            "csr_seconds": _best_of(lambda: rewire("csr")),
+        })
+
+    break_even: dict[str, int | None] = {}
+    for name, rows in measured.items():
+        def total_csr(row):
+            share = row.get("freeze_seconds", 0.0) / FREEZE_SHARERS
+            return row["csr_seconds"] + share
+        break_even[name] = next(
+            (row["edges"] for row in rows
+             if total_csr(row) <= row["python_seconds"]),
+            None,
+        )
+    payload = {
+        "sizes": list(CALIBRATION_SIZES),
+        "freeze_sharers": FREEZE_SHARERS,
+        "measured": measured,
+        "break_even_edges": break_even,
+    }
+    write_json("bench_core_ops_thresholds.json", payload)
+
+    lines = ["# freeze break-even per kernel (freeze amortized over "
+             f"{FREEZE_SHARERS} kernels)", "kernel\tbreak-even edges"]
+    for name, edges in break_even.items():
+        lines.append(f"{name}\t{edges if edges is not None else '> max size'}")
+    write_result("bench_core_ops_thresholds.txt", "\n".join(lines))
+
+    # the kernels auto routes to the engine must be on the winning side of
+    # their freeze share at the largest size — that is the regime the
+    # engine exists for.  `degree` and few-walker `walks` legitimately
+    # never break even in this range (the dict paths are memory-light and
+    # per-round stepping overhead swamps an 8-walker batch), which is why
+    # their dispatch thresholds sit beyond it.
+    for name in ("jdm", "triangles", "clustering", "rewiring"):
+        last = measured[name][-1]
+        share = last.get("freeze_seconds", 0.0) / FREEZE_SHARERS
+        assert last["csr_seconds"] + share <= last["python_seconds"] * 1.1, (
+            name, last,
+        )

@@ -131,6 +131,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p_rest.add_argument("--rc", type=float, default=50.0)
     p_rest.add_argument("--scale", type=float, default=1.0)
     p_rest.add_argument("--seed", type=int, default=1)
+    p_rest.add_argument(
+        "--backend",
+        choices=("auto", "python", "csr"),
+        default="auto",
+        help="rewiring/evaluation compute backend (auto upgrades large "
+        "graphs to the vectorized CSR engine)",
+    )
     p_rest.add_argument("--out", default=None, help="output path prefix")
     return parser
 
@@ -196,6 +203,7 @@ def _cmd_ablate(args) -> str:
             scale=args.scale,
             seed=args.seed,
             evaluation=evaluation,
+            backend=args.backend,
         )
         blocks.append(format_ablation(rows, "rewiring candidate exclusion"))
     if args.which in ("rc", "all"):
@@ -204,6 +212,7 @@ def _cmd_ablate(args) -> str:
             scale=args.scale,
             seed=args.seed,
             evaluation=evaluation,
+            backend=args.backend,
         )
         blocks.append(format_ablation(rows, "rewiring budget (RC) sweep"))
     if args.which in ("subgraph", "all"):
@@ -213,6 +222,7 @@ def _cmd_ablate(args) -> str:
             scale=args.scale,
             seed=args.seed,
             evaluation=evaluation,
+            backend=args.backend,
         )
         blocks.append(format_ablation(rows, "subgraph structure use"))
     return "\n\n".join(blocks)
@@ -266,13 +276,21 @@ def _cmd_restore(args) -> str:
     from repro.restore.restorer import restore_graph
     from repro.sampling.access import GraphAccess
 
+    from repro.metrics.suite import EvaluationConfig
+
     graph = load_dataset(args.dataset, scale=args.scale)
     access = GraphAccess(graph)
     target = max(3, int(round(args.fraction * graph.num_nodes)))
-    result = restore_graph(access, target, rc=args.rc, rng=args.seed)
+    result = restore_graph(
+        access, target, rc=args.rc, rng=args.seed, backend=args.backend
+    )
 
+    evaluation = EvaluationConfig(backend=args.backend)
     blocks = [
-        format_profile_comparison(graph_profile(graph), graph_profile(result.graph))
+        format_profile_comparison(
+            graph_profile(graph, evaluation),
+            graph_profile(result.graph, evaluation),
+        )
     ]
     if args.out:
         edge_path = f"{args.out}.edges"

@@ -20,6 +20,26 @@ Gjoka et al. procedure:
 The number of attempts is ``R = rc x |candidate edges|`` with ``rc = 500``
 in the paper (configurable; the benchmark harness documents its smaller
 values in EXPERIMENTS.md).
+
+Backends
+--------
+:class:`RewiringEngine` runs on one of two interchangeable cores selected
+by ``backend``:
+
+* ``"python"`` — the reference dict-based core in this module: one
+  proposal at a time, scored with the sequential-overlay triangle deltas.
+* ``"csr"`` — :class:`repro.engine.rewiring_kernels.CSRRewiringCore`:
+  proposals screened in vectorized numpy windows over an array adjacency,
+  with every potential accept confirmed by the same scalar scorer, so
+  accepted swaps, reports, and the resulting graph match the reference
+  for a fixed seed.
+* ``"auto"`` — ``csr`` above the calibrated per-kernel edge threshold
+  (see :mod:`repro.engine.dispatch`), ``python`` otherwise.
+
+Both cores draw proposals from the shared
+:class:`~repro.engine.rewiring_kernels.ProposalStream` (blocked draws from
+one numpy generator bridged off ``rng``), which is what makes the two
+backends' proposal streams bit-compatible with each other.
 """
 
 from __future__ import annotations
@@ -27,6 +47,14 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.engine.dispatch import resolve_backend
+from repro.engine.rewiring_kernels import (
+    CSRRewiringCore,
+    ProposalStream,
+    initial_candidates,
+    normalized_l1_distance,
+    proposal_triangle_deltas,
+)
 from repro.graph.multigraph import MultiGraph, Node
 from repro.metrics.clustering import triangles_per_node
 from repro.utils.rng import ensure_rng
@@ -66,6 +94,14 @@ class RewiringEngine:
         The paper's model permits both; rejecting them (default) matches
         the reference implementation and keeps generated graphs close to
         simple.
+    backend:
+        ``"auto"`` (default), ``"python"``, or ``"csr"`` — see the module
+        docstring.  Resolved once at construction against the graph's
+        edge count.
+    record_trace:
+        When true, every accepted swap is appended to :attr:`trace` as an
+        ``(x, y, a, b)`` tuple — the backend equivalence tests compare
+        these traces across backends.
     """
 
     def __init__(
@@ -76,27 +112,36 @@ class RewiringEngine:
         forbid_loops: bool = True,
         forbid_parallel: bool = True,
         rng: random.Random | int | None = None,
+        backend: str = "auto",
+        record_trace: bool = False,
     ) -> None:
         self.graph = graph
-        self.target = dict(target_clustering)
-        self.forbid_loops = forbid_loops
-        self.forbid_parallel = forbid_parallel
-        self._rng = ensure_rng(rng)
-
-        self._degree: dict[Node, int] = graph.degrees()
-        self._class_size: dict[int, int] = {}
-        for k in self._degree.values():
-            self._class_size[k] = self._class_size.get(k, 0) + 1
-
-        self._tri: dict[Node, float] = triangles_per_node(graph)
-        self._class_tri: dict[int, float] = {}
-        for node, t in self._tri.items():
-            k = self._degree[node]
-            self._class_tri[k] = self._class_tri.get(k, 0.0) + t
-
-        self._norm = sum(self.target.values())
-        self._candidates: list[Edge] = self._initial_candidates(protected_edges or set())
-        self._distance = self._full_distance()
+        self.backend = resolve_backend(
+            backend, size=graph.num_edges, kernel="rewiring"
+        )
+        self.trace: list[tuple[Node, Node, Node, Node]] | None = (
+            [] if record_trace else None
+        )
+        if self.backend == "csr":
+            self._core = CSRRewiringCore(
+                graph,
+                target_clustering,
+                protected_edges=protected_edges,
+                forbid_loops=forbid_loops,
+                forbid_parallel=forbid_parallel,
+                rng=rng,
+                trace=self.trace,
+            )
+        else:
+            self._core = _PythonRewiringCore(
+                graph,
+                target_clustering,
+                protected_edges=protected_edges,
+                forbid_loops=forbid_loops,
+                forbid_parallel=forbid_parallel,
+                rng=rng,
+                trace=self.trace,
+            )
 
     # ------------------------------------------------------------------
     # public surface
@@ -104,12 +149,12 @@ class RewiringEngine:
     @property
     def distance(self) -> float:
         """Current normalized L1 distance to the target clustering."""
-        return self._distance
+        return self._core.distance
 
     @property
     def num_candidates(self) -> int:
         """Number of rewireable edges."""
-        return len(self._candidates)
+        return self._core.num_candidates
 
     def run(
         self,
@@ -126,6 +171,65 @@ class RewiringEngine:
         work; disabled by default for protocol fidelity).  Returns a
         report; the graph is modified in place.
         """
+        return self._core.run(rc, max_attempts, patience)
+
+    def clustering_by_degree(self) -> dict[int, float]:
+        """Current ``{c̄(k)}`` of the graph from the incremental state."""
+        return self._core.clustering_by_degree()
+
+
+class _PythonRewiringCore:
+    """The reference dict-based core (one proposal at a time)."""
+
+    def __init__(
+        self,
+        graph: MultiGraph,
+        target_clustering: dict[int, float],
+        protected_edges: set[Edge] | None,
+        forbid_loops: bool,
+        forbid_parallel: bool,
+        rng: random.Random | int | None,
+        trace: list | None,
+    ) -> None:
+        self.graph = graph
+        self.target = dict(target_clustering)
+        self.forbid_loops = forbid_loops
+        self.forbid_parallel = forbid_parallel
+        self._rng = ensure_rng(rng)
+        self._trace = trace
+
+        self._degree: dict[Node, int] = graph.degrees()
+        self._class_size: dict[int, int] = {}
+        for k in self._degree.values():
+            self._class_size[k] = self._class_size.get(k, 0) + 1
+
+        # only the per-class triangle sums are tracked incrementally; the
+        # per-node counts are folded in once here and never needed again
+        self._class_tri: dict[int, float] = {}
+        for node, t in triangles_per_node(graph).items():
+            k = self._degree[node]
+            self._class_tri[k] = self._class_tri.get(k, 0.0) + t
+
+        self._norm = sum(self.target.values())
+        self._candidates: list[Edge] = initial_candidates(
+            graph, protected_edges or set()
+        )
+        self._distance = normalized_l1_distance(
+            self.clustering_by_degree(), self.target, self._norm
+        )
+        self._stream = ProposalStream(self._rng, len(self._candidates))
+
+    @property
+    def distance(self) -> float:
+        return self._distance
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self._candidates)
+
+    def run(
+        self, rc: float, max_attempts: int | None, patience: int | None
+    ) -> RewiringReport:
         n_cand = len(self._candidates)
         attempts = int(rc * n_cand)
         if max_attempts is not None:
@@ -153,7 +257,6 @@ class RewiringEngine:
         )
 
     def clustering_by_degree(self) -> dict[int, float]:
-        """Current ``{c̄(k)}`` of the graph from the incremental state."""
         out: dict[int, float] = {}
         for k, size in self._class_size.items():
             if k < 2:
@@ -165,48 +268,23 @@ class RewiringEngine:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _initial_candidates(self, protected: set[Edge]) -> list[Edge]:
-        """Every edge copy except one protected copy per protected pair."""
-        remaining = dict.fromkeys(protected, 1)
-        out: list[Edge] = []
-        for u, v in self.graph.edges():
-            key = (u, v) if _leq(u, v) else (v, u)
-            if remaining.get(key, 0) > 0:
-                remaining[key] -= 1
-                continue
-            out.append((u, v))
-        return out
-
-    def _full_distance(self) -> float:
-        """Normalized L1 distance computed from scratch (init / audits)."""
-        if self._norm <= 0.0:
-            return 0.0
-        current = self.clustering_by_degree()
-        keys = set(current) | set(self.target)
-        return sum(
-            abs(current.get(k, 0.0) - self.target.get(k, 0.0)) for k in keys
-        ) / self._norm
-
     def _attempt(self) -> int:
         """One proposal; returns 1 when accepted."""
-        rng = self._rng
+        i1, c1, i2, c2 = self._stream.next()
         cands = self._candidates
-        i1 = rng.randrange(len(cands))
         e1 = cands[i1]
         # orient e1: the chosen side's degree must be matched by e2's side
-        if rng.random() < 0.5:
+        if c1 < 0.5:
             x, y = e1
         else:
             y, x = e1
         kx = self._degree[x]
 
-        i2 = rng.randrange(len(cands))
         if i2 == i1:
             return 0
-        e2 = cands[i2]
-        a, b = e2
+        a, b = cands[i2]
         if self._degree[a] == kx and self._degree[b] == kx:
-            if rng.random() < 0.5:
+            if c2 < 0.5:
                 a, b = b, a
         elif self._degree[b] == kx:
             a, b = b, a
@@ -226,7 +304,7 @@ class RewiringEngine:
             # which the loop guard above already rejected
             return 0
 
-        delta_tri = self._proposal_triangle_deltas(x, y, a, b)
+        delta_tri = proposal_triangle_deltas(self.graph, x, y, a, b)
         new_distance = self._distance_after(delta_tri)
         if new_distance >= self._distance:
             return 0
@@ -238,92 +316,14 @@ class RewiringEngine:
         self.graph.add_edge(a, y)
         for node, dt in delta_tri.items():
             if dt:
-                self._tri[node] = self._tri.get(node, 0.0) + dt
                 k = self._degree[node]
                 self._class_tri[k] = self._class_tri.get(k, 0.0) + dt
         self._distance = new_distance
         cands[i1] = (x, b)
         cands[i2] = (a, y)
+        if self._trace is not None:
+            self._trace.append((x, y, a, b))
         return 1
-
-    def _proposal_triangle_deltas(
-        self, x: Node, y: Node, a: Node, b: Node
-    ) -> dict[Node, float]:
-        """Per-node triangle deltas of the swap, via a sequential overlay.
-
-        Edges are removed/added one at a time against the *current* overlaid
-        adjacency, which handles every multiplicity corner case (shared
-        endpoints, adjacent edge pairs) without recounting.
-        """
-        overlay: dict[Edge, int] = {}
-        delta: dict[Node, float] = {}
-        self._apply_edge_delta(x, y, -1, overlay, delta)
-        self._apply_edge_delta(a, b, -1, overlay, delta)
-        self._apply_edge_delta(x, b, +1, overlay, delta)
-        self._apply_edge_delta(a, y, +1, overlay, delta)
-        return delta
-
-    def _apply_edge_delta(
-        self,
-        u: Node,
-        v: Node,
-        sign: int,
-        overlay: dict[Edge, int],
-        delta: dict[Node, float],
-    ) -> None:
-        """Fold one edge insertion/removal into ``overlay`` and ``delta``.
-
-        Removing (adding) one copy of ``(u, v)`` destroys (creates)
-        ``sum_w A'_uw A'_vw`` triangles, where ``A'`` is the overlaid
-        adjacency *before* this operation (for removal the edge itself is
-        still present, which is correct: the triangles it closes are
-        counted through its other two sides).
-        """
-        if u == v:
-            # loops close no triangles under the paper's t_i definition
-            overlay[(u, u)] = overlay.get((u, u), 0) + 2 * sign
-            return
-        graph = self.graph
-        adj_u = graph.adjacency_view(u)
-        adj_v = graph.adjacency_view(v)
-        # iterate over the smaller neighborhood, plus overlay-only neighbors
-        if len(adj_u) > len(adj_v):
-            u, v = v, u
-            adj_u, adj_v = adj_v, adj_u
-        common = 0.0
-        for w, mult_uw in adj_u.items():
-            if w == u or w == v:
-                continue
-            a_uw = mult_uw + _overlay_get(overlay, u, w)
-            if a_uw <= 0:
-                continue
-            a_vw = adj_v.get(w, 0) + _overlay_get(overlay, v, w)
-            if a_vw <= 0:
-                continue
-            contrib = a_uw * a_vw
-            common += contrib
-            delta[w] = delta.get(w, 0.0) + sign * contrib
-        # overlay may add neighbors of u that the graph does not know yet
-        for (p, q), dm in overlay.items():
-            if dm <= 0:
-                continue
-            w = None
-            if p == u and q not in adj_u:
-                w = q
-            elif q == u and p not in adj_u:
-                w = p
-            if w is None or w in (u, v):
-                continue
-            a_vw = adj_v.get(w, 0) + _overlay_get(overlay, v, w)
-            if a_vw <= 0:
-                continue
-            contrib = dm * a_vw
-            common += contrib
-            delta[w] = delta.get(w, 0.0) + sign * contrib
-        delta[u] = delta.get(u, 0.0) + sign * common
-        delta[v] = delta.get(v, 0.0) + sign * common
-        key = (u, v) if _leq(u, v) else (v, u)
-        overlay[key] = overlay.get(key, 0) + sign
 
     def _distance_after(self, delta_tri: dict[Node, float]) -> float:
         """Distance if ``delta_tri`` were applied (only affected classes
@@ -335,8 +335,11 @@ class RewiringEngine:
                 class_delta[k] = class_delta.get(k, 0.0) + dt
         if not class_delta:
             return self._distance
+        # ascending-class iteration: a canonical summation order that the
+        # CSR backend reproduces exactly from its per-class delta rows
         dist = self._distance * self._norm
-        for k, dS in class_delta.items():
+        for k in sorted(class_delta):
+            dS = class_delta[k]
             size = self._class_size[k]
             if k < 2:
                 continue
@@ -346,15 +349,3 @@ class RewiringEngine:
             tgt = self.target.get(k, 0.0)
             dist += abs(new_c - tgt) - abs(old_c - tgt)
         return dist / self._norm
-
-
-def _overlay_get(overlay: dict[Edge, int], p: Node, q: Node) -> int:
-    key = (p, q) if _leq(p, q) else (q, p)
-    return overlay.get(key, 0)
-
-
-def _leq(a: Node, b: Node) -> bool:
-    """Total order on node ids (ints in practice; repr fallback otherwise)."""
-    if isinstance(a, int) and isinstance(b, int):
-        return a <= b
-    return repr(a) <= repr(b)

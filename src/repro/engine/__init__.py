@@ -21,6 +21,7 @@ access model in the sampling package where the other crawlers are.
 from repro.engine.csr import CSRGraph, freeze, thaw
 from repro.engine.dispatch import (
     AUTO_EDGE_THRESHOLD,
+    AUTO_KERNEL_THRESHOLDS,
     BACKENDS,
     ensure_csr,
     ensure_multigraph,
@@ -33,6 +34,7 @@ __all__ = [
     "freeze",
     "thaw",
     "AUTO_EDGE_THRESHOLD",
+    "AUTO_KERNEL_THRESHOLDS",
     "BACKENDS",
     "ensure_csr",
     "ensure_multigraph",

@@ -39,10 +39,32 @@ DegreePair = tuple[int, int]
 
 BACKENDS: tuple[str, ...] = ("auto", "python", "csr")
 
-#: Edge count at which ``auto`` switches to the CSR kernels.  Below it the
-#: freeze cost dominates the kernel win; above it the vectorized path pays
-#: for itself within a single metric evaluation.
+#: Default edge count at which ``auto`` switches to the CSR kernels.  Below
+#: it the freeze cost dominates the kernel win; above it the vectorized path
+#: pays for itself within a single metric evaluation.  Used for any kernel
+#: without a calibrated entry in :data:`AUTO_KERNEL_THRESHOLDS`.
 AUTO_EDGE_THRESHOLD = 20_000
+
+#: Per-kernel break-even edge counts, measured by
+#: ``benchmarks/bench_core_ops.py::test_bench_auto_threshold_calibration``
+#: (results committed under ``benchmarks/results/bench_core_ops_thresholds``)
+#: and rounded to one significant figure.  The freeze amortizes very
+#: differently per kernel: the JDM kernel beats the dict path almost
+#: immediately; triangle counting and the clustering aggregates must pay
+#: the scipy matrix products; a rewiring run must pay engine construction
+#: (freeze, triangle kernel, candidate arrays) before its batched windows
+#: win; the pure dict degree count is memory-light enough that the freeze
+#: share only pays off beyond the calibrated range; and few-walker batched
+#: walks are dominated by per-round stepping overhead, so only huge graphs
+#: route there automatically.
+AUTO_KERNEL_THRESHOLDS: dict[str, int] = {
+    "degree": 100_000,
+    "jdm": 500,
+    "triangles": 2_000,
+    "clustering": 2_000,
+    "walks": 200_000,
+    "rewiring": 20_000,
+}
 
 _ENV_VAR = "REPRO_BACKEND"
 
@@ -51,13 +73,17 @@ _freeze_cache: "weakref.WeakKeyDictionary[MultiGraph, tuple[int, CSRGraph]]" = (
 )
 
 
-def resolve_backend(backend: str = "auto", *, size: int | None = None) -> str:
+def resolve_backend(
+    backend: str = "auto", *, size: int | None = None, kernel: str | None = None
+) -> str:
     """Resolve ``backend`` to a concrete ``"python"`` or ``"csr"``.
 
-    ``size`` is the workload measure compared against
-    :data:`AUTO_EDGE_THRESHOLD` (edge count for graph kernels, walk length
+    ``size`` is the workload measure compared against the calibrated
+    break-even for ``kernel`` (edge count for graph kernels, walk length
     for sequence kernels); ``None`` means unknown and resolves to
-    ``python``.
+    ``python``.  ``kernel`` selects a per-kernel threshold from
+    :data:`AUTO_KERNEL_THRESHOLDS`; unknown or ``None`` kernels fall back
+    to :data:`AUTO_EDGE_THRESHOLD`.
     """
     if backend not in BACKENDS:
         raise EngineError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -70,7 +96,8 @@ def resolve_backend(backend: str = "auto", *, size: int | None = None) -> str:
         raise EngineError(
             f"invalid {_ENV_VAR}={env!r}; expected 'auto', 'python', or 'csr'"
         )
-    if size is not None and size >= AUTO_EDGE_THRESHOLD:
+    threshold = AUTO_KERNEL_THRESHOLDS.get(kernel, AUTO_EDGE_THRESHOLD)
+    if size is not None and size >= threshold:
         return "csr"
     return "python"
 
@@ -95,13 +122,15 @@ def ensure_multigraph(graph: MultiGraph | CSRGraph) -> MultiGraph:
     return graph
 
 
-def _resolve_for(graph: MultiGraph | CSRGraph, backend: str) -> str:
+def _resolve_for(
+    graph: MultiGraph | CSRGraph, backend: str, kernel: str | None = None
+) -> str:
     if backend not in BACKENDS:
         raise EngineError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     if isinstance(graph, CSRGraph):
         # a snapshot in hand makes csr free; only an explicit "python" thaws
         return "csr" if backend == "auto" else backend
-    return resolve_backend(backend, size=graph.num_edges)
+    return resolve_backend(backend, size=graph.num_edges, kernel=kernel)
 
 
 # ----------------------------------------------------------------------
@@ -111,7 +140,7 @@ def degree_vector(
     graph: MultiGraph | CSRGraph, backend: str = "auto"
 ) -> dict[int, int]:
     """``{n(k)}`` over ``k >= 1`` on the selected backend."""
-    if _resolve_for(graph, backend) == "csr":
+    if _resolve_for(graph, backend, "degree") == "csr":
         return kernels.degree_vector(ensure_csr(graph))
     from repro.metrics import basic
 
@@ -122,7 +151,7 @@ def degree_distribution(
     graph: MultiGraph | CSRGraph, backend: str = "auto"
 ) -> dict[int, float]:
     """``{P(k)}`` on the selected backend."""
-    if _resolve_for(graph, backend) == "csr":
+    if _resolve_for(graph, backend, "degree") == "csr":
         return kernels.degree_distribution(ensure_csr(graph))
     from repro.metrics import basic
 
@@ -133,7 +162,7 @@ def joint_degree_matrix(
     graph: MultiGraph | CSRGraph, backend: str = "auto"
 ) -> dict[DegreePair, int]:
     """``{m(k,k')}`` on the selected backend."""
-    if _resolve_for(graph, backend) == "csr":
+    if _resolve_for(graph, backend, "jdm") == "csr":
         return kernels.joint_degree_matrix(ensure_csr(graph))
     from repro.metrics import basic
 
@@ -144,7 +173,7 @@ def joint_degree_distribution(
     graph: MultiGraph | CSRGraph, backend: str = "auto"
 ) -> dict[DegreePair, float]:
     """``{P(k,k')}`` on the selected backend."""
-    if _resolve_for(graph, backend) == "csr":
+    if _resolve_for(graph, backend, "jdm") == "csr":
         return kernels.joint_degree_distribution(ensure_csr(graph))
     from repro.metrics import basic
 
@@ -155,7 +184,7 @@ def triangles_per_node(
     graph: MultiGraph | CSRGraph, backend: str = "auto"
 ) -> dict[Node, float]:
     """``{t_i}`` on the selected backend."""
-    if _resolve_for(graph, backend) == "csr":
+    if _resolve_for(graph, backend, "triangles") == "csr":
         return kernels.triangles_per_node(ensure_csr(graph))
     from repro.metrics import clustering
 
@@ -164,7 +193,7 @@ def triangles_per_node(
 
 def network_clustering(graph: MultiGraph | CSRGraph, backend: str = "auto") -> float:
     """``c̄`` on the selected backend."""
-    if _resolve_for(graph, backend) == "csr":
+    if _resolve_for(graph, backend, "clustering") == "csr":
         return kernels.network_clustering(ensure_csr(graph))
     from repro.metrics import clustering
 
@@ -175,7 +204,7 @@ def degree_dependent_clustering(
     graph: MultiGraph | CSRGraph, backend: str = "auto"
 ) -> dict[int, float]:
     """``{c̄(k)}`` on the selected backend."""
-    if _resolve_for(graph, backend) == "csr":
+    if _resolve_for(graph, backend, "clustering") == "csr":
         return kernels.degree_dependent_clustering(ensure_csr(graph))
     from repro.metrics import clustering
 

@@ -58,6 +58,7 @@ def rewiring_exclusion_ablation(
     scale: float = 1.0,
     seed: int = 1,
     evaluation: EvaluationConfig | None = None,
+    backend: str = "auto",
 ) -> list[AblationRow]:
     """Proposed pipeline with candidate exclusion on vs. off (same walk)."""
     rng = ensure_rng(seed)
@@ -69,7 +70,11 @@ def rewiring_exclusion_ablation(
     rows: list[AblationRow] = []
     for variant, protect in (("exclude subgraph edges", True), ("all edges", False)):
         result = restore_from_walk(
-            walk, rc=rc, rng=ensure_rng(seed + 1), protect_subgraph_edges=protect
+            walk,
+            rc=rc,
+            rng=ensure_rng(seed + 1),
+            protect_subgraph_edges=protect,
+            backend=backend,
         )
         d = l1_distances(truth, compute_properties(result.graph, cfg))
         rows.append(
@@ -92,6 +97,7 @@ def rc_sweep_ablation(
     scale: float = 1.0,
     seed: int = 1,
     evaluation: EvaluationConfig | None = None,
+    backend: str = "auto",
 ) -> list[AblationRow]:
     """Accuracy/time trade-off of the rewiring budget ``RC`` (same walk)."""
     rng = ensure_rng(seed)
@@ -102,7 +108,9 @@ def rc_sweep_ablation(
 
     rows: list[AblationRow] = []
     for rc in rc_values:
-        result = restore_from_walk(walk, rc=rc, rng=ensure_rng(seed + 1))
+        result = restore_from_walk(
+            walk, rc=rc, rng=ensure_rng(seed + 1), backend=backend
+        )
         d = l1_distances(truth, compute_properties(result.graph, cfg))
         rows.append(
             AblationRow(
@@ -124,6 +132,7 @@ def subgraph_use_ablation(
     scale: float = 1.0,
     seed: int = 1,
     evaluation: EvaluationConfig | None = None,
+    backend: str = "auto",
 ) -> list[AblationRow]:
     """Proposed (subgraph-aware) vs. Gjoka (estimates only), same walk."""
     rng = ensure_rng(seed)
@@ -134,7 +143,7 @@ def subgraph_use_ablation(
 
     rows: list[AblationRow] = []
     for variant, fn in (("proposed", restore_from_walk), ("gjoka", gjoka_generate)):
-        result = fn(walk, rc=rc, rng=ensure_rng(seed + 1))
+        result = fn(walk, rc=rc, rng=ensure_rng(seed + 1), backend=backend)
         d = l1_distances(truth, compute_properties(result.graph, cfg))
         rows.append(
             AblationRow(

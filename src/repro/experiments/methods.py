@@ -59,6 +59,7 @@ def run_methods_once(
     rc: float = 50.0,
     rng: random.Random | int | None = None,
     max_rewiring_attempts: int | None = None,
+    backend: str = "auto",
 ) -> dict[str, MethodOutput]:
     """Run one fair-comparison round of the requested methods.
 
@@ -76,6 +77,8 @@ def run_methods_once(
     rng:
         Controls the shared seed node, every crawler, and the generation
         phases.
+    backend:
+        Rewiring compute backend forwarded to the generative methods.
     """
     unknown = [m for m in methods if m not in METHOD_NAMES]
     if unknown:
@@ -93,7 +96,8 @@ def run_methods_once(
     outputs: dict[str, MethodOutput] = {}
     for method in methods:
         outputs[method] = _run_one(
-            method, original, target, seed, walk, rc, r, max_rewiring_attempts
+            method, original, target, seed, walk, rc, r,
+            max_rewiring_attempts, backend,
         )
     return outputs
 
@@ -107,6 +111,7 @@ def _run_one(
     rc: float,
     rng: random.Random,
     max_rewiring_attempts: int | None,
+    backend: str,
 ) -> MethodOutput:
     if method in SUBGRAPH_METHODS:
         start = time.perf_counter()
@@ -126,11 +131,19 @@ def _run_one(
     assert walk is not None
     if method == "gjoka":
         result = gjoka_generate(
-            walk, rc=rc, rng=rng, max_rewiring_attempts=max_rewiring_attempts
+            walk,
+            rc=rc,
+            rng=rng,
+            max_rewiring_attempts=max_rewiring_attempts,
+            backend=backend,
         )
     else:  # proposed
         result = restore_from_walk(
-            walk, rc=rc, rng=rng, max_rewiring_attempts=max_rewiring_attempts
+            walk,
+            rc=rc,
+            rng=rng,
+            max_rewiring_attempts=max_rewiring_attempts,
+            backend=backend,
         )
     return MethodOutput(
         method, result.graph, result.total_seconds, result.rewiring_seconds

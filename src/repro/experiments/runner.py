@@ -38,7 +38,8 @@ class ExperimentConfig:
     methods; ``evaluation`` controls exact-vs-sampled global metrics.
     ``backend`` (``"auto" | "python" | "csr"``), when set, overrides the
     evaluation config's compute backend for every property evaluation in
-    the cell — the CLI's ``--backend`` lands here.
+    the cell *and* selects the generative methods' rewiring backend — the
+    CLI's ``--backend`` lands here.
     """
 
     dataset: str
@@ -104,6 +105,7 @@ def run_experiment(
             rc=config.rc,
             rng=rng,
             max_rewiring_attempts=config.max_rewiring_attempts,
+            backend=config.backend or "auto",
         )
         for method, output in outputs.items():
             generated = compute_properties(output.graph, evaluation)

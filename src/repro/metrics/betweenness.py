@@ -9,6 +9,13 @@ uniform pivots and scales by ``n / p`` (Brandes–Pich pivot estimation),
 which is what the harness uses on the larger graphs — the paper itself
 resorts to parallel exact algorithms, noting the evaluation method "does
 not affect the performance of each method".
+
+The sweeps run on a positional CSR adjacency (``indptr`` / ``indices``
+int lists built once per call) instead of a per-call ``dict[Node,
+list[Node]]`` — node ids become dense ints, the BFS state lives in flat
+lists, and neighbor iteration walks a contiguous slice.  Neighbor order
+is the adjacency-dict insertion order either way, so sigma/dependency
+accumulation — and therefore every float in the result — is unchanged.
 """
 
 from __future__ import annotations
@@ -35,32 +42,38 @@ def betweenness_centrality(
     lcc = largest_connected_component(simplified(graph))
     nodes = list(lcc.nodes())
     n = len(nodes)
-    score: dict[Node, float] = {u: 0.0 for u in nodes}
     if n <= 2:
-        return score
+        return {u: 0.0 for u in nodes}
 
-    adjacency: dict[Node, list[Node]] = {
-        u: [v for v in lcc.neighbors(u) if v != u] for u in nodes
-    }
+    # positional CSR over the LCC (simplified: no loops, no parallels);
+    # plain int lists, which the sweep's scalar reads are fastest on
+    index = {u: i for i, u in enumerate(nodes)}
+    indptr = [0]
+    indices: list[int] = []
+    for u in nodes:
+        for v in lcc.neighbors(u):
+            if v != u:
+                indices.append(index[v])
+        indptr.append(len(indices))
 
     if num_pivots is None or num_pivots >= n:
-        pivots = nodes
+        pivot_ids = range(n)
         scale = 1.0
     else:
         r = ensure_rng(rng)
-        pivots = r.sample(nodes, num_pivots)
+        pivot_ids = [index[u] for u in r.sample(nodes, num_pivots)]
         scale = n / num_pivots
 
-    for s in pivots:
-        _accumulate_from_source(adjacency, s, score)
+    acc = [0.0] * n
+    for s in pivot_ids:
+        _accumulate_from_source(indptr, indices, s, acc)
 
     if scale != 1.0:
-        for u in score:
-            score[u] *= scale
+        acc = [b * scale for b in acc]
     # ordered pairs (j, k) both directions: undirected Brandes already
     # accumulates each unordered pair once per source sweep; summing over
     # all sources counts (j, k) and (k, j) separately, matching the paper.
-    return score
+    return {u: acc[i] for i, u in enumerate(nodes)}
 
 
 def degree_dependent_betweenness(
@@ -87,29 +100,36 @@ def degree_dependent_betweenness(
 
 
 def _accumulate_from_source(
-    adjacency: dict[Node, list[Node]], s: Node, score: dict[Node, float]
+    indptr: list[int], indices: list[int], s: int, score: list[float]
 ) -> None:
-    """One Brandes sweep: BFS DAG + reverse dependency accumulation."""
-    sigma: dict[Node, float] = {s: 1.0}
-    dist: dict[Node, int] = {s: 0}
-    preds: dict[Node, list[Node]] = {s: []}
-    order: list[Node] = []
-    queue: deque[Node] = deque([s])
+    """One Brandes sweep on the positional CSR adjacency.
+
+    BFS DAG + reverse dependency accumulation, identical arithmetic to the
+    historical dict version (same neighbor order, same addition order) —
+    only the node keys are positional ints and the per-sweep state lives
+    in flat lists.
+    """
+    n = len(indptr) - 1
+    sigma = [0.0] * n
+    dist = [-1] * n
+    preds: list[list[int]] = [[] for _ in range(n)]
+    sigma[s] = 1.0
+    dist[s] = 0
+    order: list[int] = []
+    queue: deque[int] = deque([s])
     while queue:
         u = queue.popleft()
         order.append(u)
-        du = dist[u]
+        du1 = dist[u] + 1
         su = sigma[u]
-        for v in adjacency[u]:
-            if v not in dist:
-                dist[v] = du + 1
-                sigma[v] = 0.0
-                preds[v] = []
+        for v in indices[indptr[u] : indptr[u + 1]]:
+            if dist[v] < 0:
+                dist[v] = du1
                 queue.append(v)
-            if dist[v] == du + 1:
+            if dist[v] == du1:
                 sigma[v] += su
                 preds[v].append(u)
-    delta: dict[Node, float] = {u: 0.0 for u in order}
+    delta = [0.0] * n
     for v in reversed(order):
         coeff = (1.0 + delta[v]) / sigma[v]
         for u in preds[v]:

@@ -38,6 +38,7 @@ def gjoka_generate(
     rc: float = DEFAULT_REWIRING_COEFFICIENT,
     rng: random.Random | int | None = None,
     max_rewiring_attempts: int | None = None,
+    backend: str = "auto",
 ) -> RestorationResult:
     """Generate a 2.5K graph from the walk's estimates alone.
 
@@ -64,6 +65,7 @@ def gjoka_generate(
             estimates.degree_clustering,
             protected_edges=None,  # E~_rew = E~: every edge is a candidate
             rng=r,
+            backend=backend,
         )
         report = engine.run(rc=rc, max_attempts=max_rewiring_attempts)
 

@@ -98,6 +98,7 @@ def restore_from_walk(
     max_rewiring_attempts: int | None = None,
     protect_subgraph_edges: bool = True,
     simplify_output: bool = False,
+    backend: str = "auto",
 ) -> RestorationResult:
     """Run the four-phase restoration from an existing sampling list.
 
@@ -110,6 +111,10 @@ def restore_from_walk(
     JDM-preserving swaps first, degree-only swaps for the leftovers),
     never touching the subgraph's edges.  Off by default: the paper's
     protocol evaluates the graph exactly as generated.
+
+    ``backend`` selects the rewiring compute backend (``"auto"`` routes
+    large graphs to the vectorized CSR engine, see
+    :class:`~repro.dk.rewiring.RewiringEngine`).
     """
     r = ensure_rng(rng)
     sw = Stopwatch()
@@ -137,6 +142,7 @@ def restore_from_walk(
             estimates.degree_clustering,
             protected_edges=protected,
             rng=r,
+            backend=backend,
         )
         report = engine.run(rc=rc, max_attempts=max_rewiring_attempts)
 
@@ -178,6 +184,7 @@ def restore_graph(
     rng: random.Random | int | None = None,
     max_rewiring_attempts: int | None = None,
     walker: str = "simple",
+    backend: str = "auto",
 ) -> RestorationResult:
     """Crawl ``access`` with a random walk, then restore.
 
@@ -201,6 +208,8 @@ def restore_graph(
         combinable with the method.  The NBRW's stationary distribution on
         nodes matches the simple walk's, so the re-weighted estimators
         apply unchanged.
+    backend:
+        Rewiring compute backend (``"auto" | "python" | "csr"``).
     """
     r = ensure_rng(rng)
     if walker == "simple":
@@ -214,5 +223,9 @@ def restore_graph(
             f"unknown walker {walker!r}; use 'simple' or 'non_backtracking'"
         )
     return restore_from_walk(
-        walk, rc=rc, rng=r, max_rewiring_attempts=max_rewiring_attempts
+        walk,
+        rc=rc,
+        rng=r,
+        max_rewiring_attempts=max_rewiring_attempts,
+        backend=backend,
     )

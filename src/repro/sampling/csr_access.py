@@ -85,23 +85,9 @@ class CSRGraphAccess(GraphAccess):
         Returns one :class:`SamplingList` per walker, consumable by the
         re-weighted estimators individually or merged.
         """
-        if num_walks < 1:
-            raise SamplingError("need at least one walker")
-        if seeds is not None and len(seeds) != num_walks:
-            raise SamplingError(
-                f"got {len(seeds)} seeds for {num_walks} walkers"
-            )
         gen = ensure_generator(rng)
         csr = self._csr
-        if seeds is None:
-            current = gen.integers(0, csr.num_nodes, size=num_walks)
-        else:
-            try:
-                current = np.asarray(
-                    [csr.index[s] for s in seeds], dtype=np.int64
-                )
-            except KeyError as exc:
-                raise SamplingError(f"seed node {exc.args[0]!r} does not exist")
+        current = _start_positions(csr, num_walks, seeds, gen)
         cap = max_steps if max_steps is not None else 1000 * max(target_queried, 1)
         walks = [SamplingList() for _ in range(num_walks)]
         node_list = csr.node_list
@@ -111,11 +97,86 @@ class CSRGraphAccess(GraphAccess):
                 walk.record(node, self.query(node))
             if self.num_queried >= target_queried:
                 return walks
-            try:
-                current = step_walkers(csr, current, gen)
-            except GraphError as exc:
-                raise SamplingError(str(exc)) from None
+            current = _advance(csr, current, gen)
         raise SamplingError(
             f"batched walk did not reach {target_queried} distinct nodes "
             f"within {cap} rounds (graph too small or disconnected?)"
         )
+
+
+def _start_positions(
+    csr: CSRGraph,
+    num_walks: int,
+    seeds: list[Node] | None,
+    gen: np.random.Generator,
+) -> np.ndarray:
+    """Validate a walker batch and resolve its starting node indices."""
+    if num_walks < 1:
+        raise SamplingError("need at least one walker")
+    if seeds is None:
+        return gen.integers(0, csr.num_nodes, size=num_walks)
+    if len(seeds) != num_walks:
+        raise SamplingError(f"got {len(seeds)} seeds for {num_walks} walkers")
+    try:
+        return np.asarray([csr.index[s] for s in seeds], dtype=np.int64)
+    except KeyError as exc:
+        raise SamplingError(f"seed node {exc.args[0]!r} does not exist")
+
+
+def _advance(
+    csr: CSRGraph, current: np.ndarray, gen: np.random.Generator
+) -> np.ndarray:
+    """One vectorized walker step with the sampling-layer error type."""
+    try:
+        return step_walkers(csr, current, gen)
+    except GraphError as exc:
+        raise SamplingError(str(exc)) from None
+
+
+def independent_batched_walks(
+    graph: MultiGraph | CSRGraph,
+    num_walks: int,
+    target_queried: int,
+    seeds: list[Node] | None = None,
+    rng: np.random.Generator | random.Random | int | None = None,
+    max_steps: int | None = None,
+) -> list[SamplingList]:
+    """Run ``num_walks`` *independent* walks from one frozen snapshot.
+
+    Unlike :meth:`CSRGraphAccess.batched_walks` — whose walkers share one
+    query account and stop on a combined budget — each walker here gets
+    its own :class:`CSRGraphAccess` (own memoization, own distinct-node
+    count) and stops when *it* has queried ``target_queried`` distinct
+    nodes, exactly the per-run semantics of
+    :func:`repro.sampling.walkers.random_walk`.  All still-active walkers
+    advance with one vectorized uniform-incident-edge draw per round, and
+    the hidden graph is frozen exactly once, so an experiment cell's
+    independent rounds stop re-crawling the dict-of-dicts per round.
+
+    Returns one :class:`SamplingList` per walker, each with exactly
+    ``target_queried`` distinct queried nodes (graph permitting).
+    """
+    csr = ensure_csr(graph)
+    gen = ensure_generator(rng)
+    current = _start_positions(csr, num_walks, seeds, gen)
+    accesses = [CSRGraphAccess(csr) for _ in range(num_walks)]
+    cap = max_steps if max_steps is not None else 1000 * max(target_queried, 1)
+    walks = [SamplingList() for _ in range(num_walks)]
+    active = list(range(num_walks))
+    node_list = csr.node_list
+    for _ in range(cap):
+        still = []
+        for slot, w in enumerate(active):
+            node = node_list[int(current[slot])]
+            walks[w].record(node, accesses[w].query(node))
+            if accesses[w].num_queried < target_queried:
+                still.append(slot)
+        if not still:
+            return walks
+        current = current[still]
+        active = [active[slot] for slot in still]
+        current = _advance(csr, current, gen)
+    raise SamplingError(
+        f"independent batched walks did not reach {target_queried} distinct "
+        f"nodes within {cap} rounds (graph too small or disconnected?)"
+    )

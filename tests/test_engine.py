@@ -170,6 +170,30 @@ def test_resolve_backend_rejects_unknown():
         resolve_backend("gpu")
 
 
+def test_resolve_backend_per_kernel_thresholds():
+    from repro.engine import AUTO_KERNEL_THRESHOLDS
+
+    for kernel, threshold in AUTO_KERNEL_THRESHOLDS.items():
+        assert resolve_backend("auto", size=threshold - 1, kernel=kernel) == (
+            "python"
+        )
+        assert resolve_backend("auto", size=threshold, kernel=kernel) == "csr"
+    # unknown kernels fall back to the global default
+    assert (
+        resolve_backend("auto", size=AUTO_EDGE_THRESHOLD, kernel="mystery")
+        == "csr"
+    )
+
+
+def test_rewiring_engine_backend_resolution():
+    from repro.dk.rewiring import RewiringEngine
+    from repro.graph.multigraph import MultiGraph
+
+    g = MultiGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+    assert RewiringEngine(g.copy(), {2: 0.5}).backend == "python"  # tiny
+    assert RewiringEngine(g.copy(), {2: 0.5}, backend="csr").backend == "csr"
+
+
 def test_dispatch_routes_both_backends(social_graph):
     py = dispatch_jdm(social_graph, backend="python")
     cs = dispatch_jdm(social_graph, backend="csr")
