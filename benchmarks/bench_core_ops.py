@@ -23,8 +23,10 @@ from repro.engine.csr import freeze
 from repro.estimators.local import estimate_local_properties
 from repro.graph.datasets import load_dataset
 from repro.graph.generators import powerlaw_cluster_graph
-from repro.metrics import basic, clustering
+from repro.metrics import basic, clustering, spectral
+from repro.metrics.betweenness import betweenness_centrality
 from repro.metrics.clustering import degree_dependent_clustering
+from repro.metrics.paths import shortest_path_stats
 from repro.metrics.suite import compute_properties
 from repro.restore.restorer import restore_from_walk
 from repro.sampling.access import GraphAccess
@@ -105,10 +107,12 @@ def _calibration_graph(edges: int):
 
 
 #: The metric suite computes several engine-backed properties per frozen
-#: snapshot (JDM, triangle counts, both clustering aggregates, the degree
-#: vector), so the freeze is amortized across roughly this many kernel
-#: evaluations in the workloads ``auto`` serves.
-FREEZE_SHARERS = 4
+#: snapshot (degree vector, JDM, triangle counts, both clustering
+#: aggregates, neighbor connectivity, shared partners, λ1, and the
+#: BFS-based shortest-path/betweenness pair), so the freeze is amortized
+#: across roughly this many kernel evaluations in the workloads ``auto``
+#: serves.
+FREEZE_SHARERS = 8
 
 
 def _metric_cases(graph, csr):
@@ -121,6 +125,12 @@ def _metric_cases(graph, csr):
          lambda: kernels.triangles_per_node(csr)),
         ("clustering", lambda: clustering.degree_dependent_clustering(graph),
          lambda: kernels.degree_dependent_clustering(csr)),
+        ("knn", lambda: basic.neighbor_connectivity(graph),
+         lambda: kernels.neighbor_connectivity(csr)),
+        ("shared_partners", lambda: clustering.shared_partner_distribution(graph),
+         lambda: kernels.shared_partner_distribution(csr)),
+        ("spectral", lambda: spectral.largest_eigenvalue(graph),
+         lambda: spectral.matrix_largest_eigenvalue(csr.adjacency_matrix())),
     )
 
 
@@ -156,6 +166,26 @@ def test_bench_auto_threshold_calibration(results_dir):
                 "freeze_seconds": freeze_seconds,
                 "python_seconds": _best_of(py_fn),
                 "csr_seconds": _best_of(cold),
+            })
+
+        # the harness's sampled global-property budgets; the csr side runs
+        # warm (snapshot + component caches populated, as in the suite,
+        # where the shortest-path property shares both) and is charged a
+        # freeze share like the other metric kernels
+        num_sources = min(64, graph.num_nodes)
+        num_pivots = min(32, graph.num_nodes)
+        for name, fn in (
+            ("paths", lambda b: shortest_path_stats(
+                graph, num_sources=num_sources, rng=1, backend=b)),
+            ("betweenness", lambda b: betweenness_centrality(
+                graph, num_pivots=num_pivots, rng=1, backend=b)),
+        ):
+            fn("csr")  # warm the snapshot and component caches
+            measured.setdefault(name, []).append({
+                "edges": m,
+                "freeze_seconds": freeze_seconds,
+                "python_seconds": _best_of(lambda: fn("python")),
+                "csr_seconds": _best_of(lambda: fn("csr")),
             })
 
         # a convergence-style cell: several independent rounds per snapshot
@@ -221,7 +251,17 @@ def test_bench_auto_threshold_calibration(results_dir):
     # never break even in this range (the dict paths are memory-light and
     # per-round stepping overhead swamps an 8-walker batch), which is why
     # their dispatch thresholds sit beyond it.
-    for name in ("jdm", "triangles", "clustering", "rewiring"):
+    for name in (
+        "jdm",
+        "triangles",
+        "clustering",
+        "knn",
+        "shared_partners",
+        "spectral",
+        "paths",
+        "betweenness",
+        "rewiring",
+    ):
         last = measured[name][-1]
         share = last.get("freeze_seconds", 0.0) / FREEZE_SHARERS
         assert last["csr_seconds"] + share <= last["python_seconds"] * 1.1, (

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs (dependency-free).
+
+Validates every ``[text](target)`` link in the given markdown files:
+
+* relative file targets must exist (checked against the linking file's
+  directory), and a ``#fragment`` on them must match a heading anchor in
+  the target file;
+* bare ``#fragment`` targets must match a heading anchor in the same file;
+* ``http(s)``/``mailto`` targets are skipped — CI must not flake on the
+  network.
+
+Anchors follow GitHub's slugging: lowercase, punctuation stripped, spaces
+to hyphens.  Exit status: 0 when every link resolves, 1 when any is
+broken (each broken link is printed).
+
+Usage: ``python scripts/check_markdown_links.py README.md docs/*.md``
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*#*\s*$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> fragment slug (ASCII subset, good enough here)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set[str]:
+    content = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    seen: dict[str, int] = {}
+    out: set[str] = set()
+    for match in HEADING.finditer(content):
+        slug = github_anchor(match.group(1))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        out.add(slug if n == 0 else f"{slug}-{n}")
+    return out
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    errors: list[str] = []
+    content = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK.finditer(content):
+        target = match.group(1)
+        if target.startswith(EXTERNAL):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in anchors_of(path):
+                errors.append(f"{path}: broken anchor {target!r}")
+            continue
+        file_part, _, fragment = target.partition("#")
+        dest = (path.parent / file_part).resolve()
+        if not dest.exists():
+            errors.append(f"{path}: missing target {target!r}")
+            continue
+        if fragment and dest.suffix == ".md" and fragment not in anchors_of(dest):
+            errors.append(f"{path}: broken anchor {target!r}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_markdown_links.py FILE.md [FILE.md ...]")
+        return 2
+    errors: list[str] = []
+    for name in argv:
+        errors.extend(check_file(pathlib.Path(name)))
+    for line in errors:
+        print(line)
+    print(f"checked {len(argv)} file(s): {len(errors)} broken link(s)")
+    return min(len(errors), 1)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

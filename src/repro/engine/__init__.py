@@ -6,8 +6,12 @@ implementation:
 * :mod:`repro.engine.csr` — :class:`CSRGraph` frozen snapshots
   (:func:`freeze` / :func:`thaw`) of :class:`~repro.graph.multigraph.MultiGraph`.
 * :mod:`repro.engine.kernels` — numpy/scipy kernels: degree vector, joint
-  degree matrix, triangle counts and clustering coefficients, and batched
-  multi-seed random walks.
+  degree matrix, triangle counts and clustering coefficients, neighbor
+  connectivity, edgewise shared partners, and batched multi-seed random
+  walks.
+* :mod:`repro.engine.bfs_kernels` — frontier-based BFS kernels: batched
+  level-synchronous shortest-path sweeps and Brandes betweenness
+  accumulation, replaying the reference floats bit for bit.
 * :mod:`repro.engine.dispatch` — ``backend="auto" | "python" | "csr"``
   routing used by :mod:`repro.metrics`, the estimators, and the experiment
   harness; ``auto`` upgrades large graphs to the CSR kernels and leaves
@@ -18,6 +22,11 @@ Query-accounted random walks over a snapshot live in
 access model in the sampling package where the other crawlers are.
 """
 
+from repro.engine.bfs_kernels import (
+    bfs_distance_block,
+    brandes_scores,
+    pair_length_histogram,
+)
 from repro.engine.csr import CSRGraph, freeze, thaw
 from repro.engine.dispatch import (
     AUTO_EDGE_THRESHOLD,
@@ -41,4 +50,7 @@ __all__ = [
     "resolve_backend",
     "batched_random_walks",
     "ensure_generator",
+    "bfs_distance_block",
+    "brandes_scores",
+    "pair_length_histogram",
 ]

@@ -1,0 +1,604 @@
+"""Frontier-based BFS kernels: batched shortest paths and Brandes sweeps.
+
+The two most expensive global properties — the shortest-path triple
+(l̄, {P(l)}, l_max) and betweenness centrality — reduce to breadth-first
+search from many sources.  The pure-Python references in
+:mod:`repro.metrics.paths` / :mod:`repro.metrics.betweenness` pay
+interpreter overhead per edge per source; the kernels here expand a whole
+frontier per step with vectorized ``indptr``/``indices`` gathers and batch
+many sources at once (source-major composite ids ``b * n + v``), so the
+per-level Python overhead is amortized over every source in the block.
+
+Bit-exactness contract
+----------------------
+Every kernel reproduces its reference *bit for bit* on a fixed seed:
+
+* Distances are integers, so any evaluation order gives the same
+  histogram; the aggregation into ``ShortestPathStats`` (float divisions,
+  argmax tie-breaking for the double sweep) mirrors the reference
+  expressions operand for operand.
+* Brandes dependency accumulation is genuinely order-sensitive float
+  arithmetic.  The reference adds contributions to ``delta[u]`` over
+  successors ``v`` in *reverse BFS-queue order*; the frontier kernel keeps
+  each level's frontier in BFS-queue order (first-occurrence dedup over
+  the ``frontier x adjacency`` gather), stores the level's DAG edges
+  sorted by the successor's queue position, and accumulates the reversed
+  contribution stream with ``np.bincount`` — whose C kernel folds weights
+  into each bin in input order, so the same IEEE additions happen in the
+  same order as the reference's scalar loop.  Sigma counts are integers
+  carried in float64 (exact up to ``2**53``, the same envelope the
+  reference lives in).
+
+The Brandes kernel treats every edge slot as one edge, so callers must
+pass a *simple* snapshot (the metrics layer always freezes the simplified
+largest component; loops are harmless — a loop neighbor sits one level
+short of the DAG — but parallel slots would double sigma contributions).
+The distance kernels are multiplicity-insensitive and correct on any
+snapshot.
+
+Memory is bounded by processing sources in blocks: distance state is
+``O(block x n)``, transient gathers and the retained per-level DAG edges
+are ``O(block x m)``; block sizes derive from a fixed entry budget so a
+``1e5``-edge graph batches a few dozen sources per sweep.
+
+The kernels spend a small fixed overhead per BFS *level*, so they are
+built for the small-diameter graphs this project evaluates (social
+networks, diameter ``O(log n)``).  Work stays linear in edges on any
+input, but on pathological high-diameter graphs (long paths, lattices)
+the per-level overhead dominates and the scipy-backed ``python`` backend
+is the better choice — force ``backend="python"`` there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import csgraph
+
+from repro.engine.csr import CSRGraph
+from repro.errors import EngineError
+
+#: Entry budget (array slots) for one BFS block: bounds both the
+#: ``block x n`` distance state and the ``block x 2m`` transient gathers.
+#: Deliberately small — the sweeps scatter/gather randomly into the block
+#: state, so keeping it cache-resident beats wider batching (measured on
+#: a 1.2e5-edge graph: 1M-entry blocks run ~30% faster than 8M).
+_DISTANCE_BLOCK_ENTRIES = 1_000_000
+
+#: Entry budget for one Brandes block, which additionally retains the
+#: per-level DAG edge arrays for the dependency back-propagation.  Large
+#: graphs land on single-source blocks (see ``_brandes_single``), which
+#: measured fastest; batching still pays off for the many-tiny-level
+#: sweeps of small graphs.
+_BRANDES_BLOCK_ENTRIES = 250_000
+
+
+def simplified_lcc_snapshot(csr: CSRGraph) -> CSRGraph:
+    """Largest connected component of the simple projection, as a snapshot.
+
+    Vectorized twin of the metrics prologue
+    ``largest_connected_component(simplified(graph))`` — the per-edge
+    Python passes that used to dominate the CSR branches of the path and
+    betweenness metrics.  The result is *structurally identical* to
+    freezing the reference construction:
+
+    * node order is the input's insertion order filtered to the component;
+    * each node's adjacency order is the reference's insertion order —
+      every simple edge is emitted from its earlier endpoint in
+      ``(owner position, owner adjacency order)`` sequence, and each
+      emission appends to both endpoints' adjacency — which the frontier
+      Brandes kernel's bit-exactness depends on.
+
+    Components come from :func:`scipy.sparse.csgraph.connected_components`,
+    whose labels follow first-discovery order over ascending node index,
+    so the size ``argmax`` picks the same component as the reference's
+    stable size-descending sort.  The result is cached on the input
+    snapshot (one construction serves the whole 12-property evaluation).
+
+    Parameters
+    ----------
+    csr:
+        Snapshot of the full multigraph (loops and parallels allowed).
+
+    Returns
+    -------
+    CSRGraph
+        Simple, connected snapshot carrying the original node ids.
+    """
+    cached = csr._lcc_cache
+    if cached is not None:
+        return cached
+    n = csr.num_nodes
+    if n == 0:
+        out = CSRGraph((), np.zeros(1, dtype=np.int64), np.empty(0, np.int64), 0)
+        csr._lcc_cache = out
+        return out
+    deg = csr.degree_array()
+    owner = np.repeat(np.arange(n, dtype=np.int64), deg)
+    dst = csr.indices
+    # one emission per simple edge, from the earlier endpoint, in the
+    # reference's scan order: slot order already is (owner position,
+    # adjacency position), so a first-occurrence dedup of the forward
+    # slots reproduces `simplified` exactly (loops fail owner < dst)
+    fwd = owner < dst
+    keys = _first_occurrences(owner[fwd] * n + dst[fwd])
+    edge_a, edge_b = np.divmod(keys, n)
+    # each emission appends to both endpoints' adjacency at emission time:
+    # interleave (a, b) ownership and group stably by owner
+    stream_owner = np.column_stack((edge_a, edge_b)).ravel()
+    stream_nbr = np.column_stack((edge_b, edge_a)).ravel()
+    order = np.argsort(stream_owner, kind="stable")
+    simple_counts = np.bincount(stream_owner, minlength=n)
+    simple_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(simple_counts, out=simple_indptr[1:])
+    simple_indices = stream_nbr[order]
+
+    if keys.size == 0:
+        # no simple edges: every component is a single node; the reference
+        # keeps the first node (stable size sort over size-1 components)
+        member = np.zeros(n, dtype=bool)
+        member[0] = True
+    else:
+        adjacency = sparse.csr_matrix(
+            (
+                np.ones(simple_indices.size, dtype=np.int8),
+                simple_indices,
+                simple_indptr,
+            ),
+            shape=(n, n),
+        )
+        _, labels = csgraph.connected_components(adjacency, directed=False)
+        # the reference's stable size-descending sort keeps the earliest
+        # *discovered* component among equal sizes; recover that winner
+        # without assuming anything about scipy's label numbering
+        sizes = np.bincount(labels)
+        _, first_seen = np.unique(labels, return_index=True)
+        tied = np.flatnonzero(sizes == sizes.max())
+        winner = tied[np.argmin(first_seen[tied])]
+        member = labels == winner
+
+    new_id = np.cumsum(member) - 1
+    member_rows = np.flatnonzero(member)
+    row_counts = simple_counts[member_rows]
+    lcc_indptr = np.zeros(member_rows.size + 1, dtype=np.int64)
+    np.cumsum(row_counts, out=lcc_indptr[1:])
+    starts = simple_indptr[member_rows]
+    ends = lcc_indptr[1:]
+    spread = np.repeat(starts - (ends - row_counts), row_counts)
+    slots = np.arange(int(row_counts.sum()), dtype=np.int64) + spread
+    lcc_indices = new_id[simple_indices[slots]]
+    node_list = csr.node_list
+    nodes = tuple(node_list[i] for i in member_rows)
+    out = CSRGraph(nodes, lcc_indptr, lcc_indices, lcc_indices.size // 2)
+    csr._lcc_cache = out
+    return out
+
+
+def _check_sources(csr: CSRGraph, sources: np.ndarray) -> np.ndarray:
+    src = np.asarray(sources, dtype=np.int64).ravel()
+    if src.size and (src.min() < 0 or src.max() >= csr.num_nodes):
+        raise EngineError("BFS source index out of range")
+    return src
+
+
+def _check_block_envelope(b: int, n: int) -> None:
+    """Composite ids ``b * n + v`` are int32; refuse blocks that overflow.
+
+    The default block budgets stay far below this, so only explicit
+    oversized ``batch_size`` requests (or direct ``bfs_distance_block``
+    calls with huge source arrays, which would also allocate a
+    ``b x n`` result) can trip it.
+    """
+    if b * n > np.iinfo(np.int32).max:
+        raise EngineError(
+            f"BFS block of {b} sources x {n} nodes exceeds the int32 "
+            "composite-id envelope; use a smaller batch_size"
+        )
+
+
+def _block_size(csr: CSRGraph, num_sources: int, budget: int) -> int:
+    per_source = max(1, csr.num_nodes, 2 * csr.num_edges)
+    return max(1, min(num_sources, budget // per_source))
+
+
+def _gather_frontier(
+    indptr: np.ndarray,
+    indices32: np.ndarray,
+    frontier: np.ndarray,
+    nodes: np.ndarray,
+    with_sources: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gather all neighbor slots of a composite frontier, in order.
+
+    Parameters
+    ----------
+    indptr:
+        The snapshot's ``int64`` row offsets.
+    indices32:
+        The snapshot's slot endpoints downcast to ``int32`` (composite ids
+        stay below the block entry budget, so 32-bit arithmetic halves the
+        bandwidth of the block-sized intermediates).
+    frontier:
+        ``int32`` composite node ids ``b * n + v``, one per frontier member.
+    nodes:
+        ``frontier``'s plain node ids ``v`` (precomputed by the caller).
+    with_sources:
+        Also replicate the composite source id per gathered slot (needed
+        by the Brandes DAG construction; skipped for plain distances).
+
+    Returns
+    -------
+    nbr, src_rep:
+        ``int32`` composite neighbor id per gathered slot — and, when
+        requested, the composite source id per slot (otherwise an empty
+        array) — in ``frontier order x adjacency order``, the reference
+        BFS's scan order, which the queue-order dedup and the sigma
+        accumulation both rely on.
+    """
+    counts = indptr[nodes + 1] - indptr[nodes]
+    total = int(counts.sum())
+    empty = np.empty(0, dtype=np.int32)
+    if total == 0:
+        return empty, empty
+    if total > np.iinfo(np.int32).max:
+        # slot positions ride in int32 like the composite ids; a gather
+        # this size implies an oversized explicit batch on a huge or
+        # heavily parallel graph — refuse rather than wrap silently
+        raise EngineError(
+            f"BFS frontier gather of {total} slots exceeds the int32 "
+            "envelope; use a smaller batch_size"
+        )
+    # one fused repeat: row 0 carries the slot-offset correction that turns
+    # a flat arange into per-node slot ranges, row 1 the composite base
+    # b * n (and row 2, when needed, the composite source id)
+    ends = np.cumsum(counts)
+    offsets = (indptr[nodes] - (ends - counts)).astype(np.int32)
+    rows = (offsets, frontier - nodes, frontier) if with_sources else (
+        offsets,
+        frontier - nodes,
+    )
+    rep = np.repeat(np.stack(rows), counts, axis=1)
+    slots = np.arange(total, dtype=np.int32) + rep[0]
+    nbr = rep[1] + indices32[slots]
+    return nbr, (rep[2] if with_sources else empty)
+
+
+def bfs_distance_block(csr: CSRGraph, sources: np.ndarray) -> np.ndarray:
+    """Level-synchronous BFS distances from a block of sources.
+
+    Parameters
+    ----------
+    csr:
+        Frozen snapshot (any multigraph; parallels and loops do not change
+        unweighted distances).
+    sources:
+        ``int64[B]`` positional source indices, one BFS per entry.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int32[B, n]`` hop counts; unreachable nodes hold ``-1``.
+    """
+    src = _check_sources(csr, sources)
+    return _distance_block(csr, src, csr.indices.astype(np.int32))
+
+
+def _distance_block(
+    csr: CSRGraph, src: np.ndarray, indices32: np.ndarray
+) -> np.ndarray:
+    n = csr.num_nodes
+    b = src.size
+    _check_block_envelope(b, n)
+    size = b * n
+    dist = np.full(size, -1, dtype=np.int32)
+    if b == 0 or n == 0:
+        return dist.reshape(b, n)
+    frontier = np.arange(b, dtype=np.int32) * n + src.astype(np.int32)
+    nodes = src.astype(np.int32)
+    dist[frontier] = 0
+    level = 0
+    indptr = csr.indptr
+    while frontier.size:
+        nbr, _ = _gather_frontier(indptr, indices32, frontier, nodes, False)
+        fresh = nbr[dist[nbr] < 0]
+        if fresh.size == 0:
+            break
+        level += 1
+        dist[fresh] = level  # duplicate targets assign the same level
+        # next frontier: dedup via a sort of the fresh slots when they are
+        # few (high-diameter graphs: keeps each level linear in its edges)
+        # or one scan of the block state when they are not (flat
+        # expansions: cheaper than sorting a near-full gather)
+        if 8 * fresh.size < size:
+            frontier = np.unique(fresh)  # order irrelevant for distances
+        else:
+            frontier = np.flatnonzero(dist == level).astype(np.int32)
+        nodes = frontier % np.int32(n)
+    return dist.reshape(b, n)
+
+
+def pair_length_histogram(
+    csr: CSRGraph,
+    sources: np.ndarray,
+    batch_size: int | None = None,
+    track_farthest: bool = True,
+) -> tuple[np.ndarray, int]:
+    """Histogram of positive finite BFS distances from ``sources``.
+
+    Streams the ``(num_sources, n)`` distance matrix through fixed-size
+    blocks so exact all-pairs sweeps never materialize it.
+
+    Parameters
+    ----------
+    csr:
+        Frozen snapshot.
+    sources:
+        ``int64[S]`` positional BFS sources, in sampling order.
+    batch_size:
+        Sources per block; defaults to a fixed memory budget.
+    track_farthest:
+        Skip the per-block argmax bookkeeping when ``False`` (exact
+        sweeps never use it; saves one full scan per block).
+
+    Returns
+    -------
+    counts, farthest:
+        ``counts`` is the ``np.bincount`` of every finite source-to-target
+        distance ``> 0`` (ordered pairs, ``counts[0] == 0``; empty when no
+        pair is reachable).  ``farthest`` is the target-node index of the
+        first maximal entry of the distance matrix in row-major order —
+        the same node the reference's ``np.argmax`` double-sweep restarts
+        from — or ``-1`` when not tracked / no pair is reachable.
+    """
+    src = _check_sources(csr, sources)
+    step = batch_size or _block_size(csr, src.size, _DISTANCE_BLOCK_ENTRIES)
+    indices32 = csr.indices.astype(np.int32)
+    counts = np.zeros(1, dtype=np.int64)
+    best_val = -1
+    best_flat = -1
+    n = csr.num_nodes
+    for start in range(0, src.size, step):
+        block = _distance_block(csr, src[start : start + step], indices32)
+        lengths = block[block > 0]
+        if lengths.size:
+            bc = np.bincount(lengths)
+            if bc.size > counts.size:
+                bc[: counts.size] += counts
+                counts = bc
+            else:
+                counts[: bc.size] += bc
+        if track_farthest:
+            flat = int(np.argmax(block))
+            val = int(block.reshape(-1)[flat])
+            if val > best_val:  # strict: earlier blocks win ties, like argmax
+                best_val = val
+                best_flat = start * n + flat
+    farthest = best_flat % n if best_flat >= 0 else -1
+    if counts.sum() == 0:
+        return np.zeros(0, dtype=np.int64), farthest
+    return counts, farthest
+
+
+def eccentricity(csr: CSRGraph, source: int) -> tuple[int, int]:
+    """Eccentricity of ``source`` within its component.
+
+    Returns
+    -------
+    far, ecc:
+        ``far`` is the first reachable node at maximal distance (ascending
+        node order among ties, matching the reference's
+        ``finite[np.argmax(dist[finite])]``), ``ecc`` its hop count.
+    """
+    dist = bfs_distance_block(csr, np.asarray([source], dtype=np.int64))[0]
+    reached = np.where(dist >= 0)[0]
+    far = int(reached[np.argmax(dist[reached])])
+    return far, int(dist[far])
+
+
+def brandes_scores(
+    csr: CSRGraph,
+    sources: np.ndarray,
+    batch_size: int | None = None,
+) -> np.ndarray:
+    """Brandes dependency scores accumulated over ``sources`` in order.
+
+    One frontier sweep per level serves every source in a block: the
+    forward pass records each level's BFS-queue-ordered frontier and its
+    DAG edges (successor stored as a queue position, presorted by it),
+    sigma accumulates through vectorized bincounts, and the backward pass
+    replays the reference's dependency accumulation — per predecessor,
+    contributions arrive in reverse queue order of the successor, so every
+    float matches the per-node reference sweep.
+
+    Parameters
+    ----------
+    csr:
+        Frozen snapshot of a *simple* graph (see module notes).
+    sources:
+        ``int64[S]`` positional pivot indices, in pivot-sampling order.
+    batch_size:
+        Sources per block; defaults to a fixed memory budget.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64[n]`` unnormalized scores ``sum_s delta_s(v)`` — exactly
+        the reference's per-source ``score[v] += delta[v]`` accumulation
+        (the source itself excluded), before any pivot scaling.
+    """
+    src = _check_sources(csr, sources)
+    n = csr.num_nodes
+    acc = np.zeros(n, dtype=np.float64)
+    step = batch_size or _block_size(csr, src.size, _BRANDES_BLOCK_ENTRIES)
+    indices32 = csr.indices.astype(np.int32)
+    for start in range(0, src.size, step):
+        block = src[start : start + step]
+        if block.size == 1:
+            _brandes_single(csr, int(block[0]), acc, indices32)
+        else:
+            _brandes_block(csr, block, acc, indices32)
+    return acc
+
+
+def _first_occurrences(values: np.ndarray) -> np.ndarray:
+    """Subsequence of ``values`` keeping the first occurrence of each value.
+
+    Vectorized first-occurrence dedup: a stable argsort (radix on ints)
+    groups duplicates, the group heads map back to their original
+    positions, and re-sorting those positions restores encounter order —
+    exactly the order in which a FIFO BFS would enqueue the values.
+    """
+    if values.size == 0:
+        return values
+    order = np.argsort(values, kind="stable")
+    ranked = values[order]
+    head = np.empty(ranked.size, dtype=bool)
+    head[0] = True
+    head[1:] = ranked[1:] != ranked[:-1]
+    first_pos = np.sort(order[head])
+    return values[first_pos]
+
+
+def _brandes_single(
+    csr: CSRGraph, source: int, acc: np.ndarray, indices32: np.ndarray
+) -> None:
+    """Single-source sweep: ``_brandes_block`` minus the composite-id layer.
+
+    Same arithmetic in the same order — node ids are their own composite
+    ids when the block holds one source, so the gather drops the base-id
+    row (``nbr`` reads straight off ``indices``) and the repeat's second
+    row directly carries each slot's owner queue position.  This is the
+    path large graphs take (the block budget resolves to one source), and
+    keeping its state arrays ``n``-sized is what makes the random
+    scatter/gather cache-resident.
+    """
+    n = csr.num_nodes
+    indptr = csr.indptr
+    dist = np.full(n, -1, dtype=np.int32)
+    sigma = np.zeros(n, dtype=np.float64)
+    qpos = np.empty(n, dtype=np.int32)
+    dist[source] = 0
+    sigma[source] = 1.0
+    qpos[source] = 0
+    fronts = [np.asarray([source], dtype=np.int32)]
+    rev_v: list[np.ndarray] = []
+    rev_u: list[np.ndarray] = []
+    rev_sigma_u: list[np.ndarray] = []
+    frontier = fronts[0]
+    level = 0
+    while frontier.size:
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        ends = np.cumsum(counts)
+        offsets = (starts - (ends - counts)).astype(np.int32)
+        queue_ranks = np.arange(frontier.size, dtype=np.int32)
+        rep = np.repeat(np.stack((offsets, queue_ranks)), counts, axis=1)
+        nbr = indices32[np.arange(total, dtype=np.int32) + rep[0]]
+        owner = rep[1]  # queue position of each slot's frontier member
+        dval = dist[nbr]
+        if level:  # level 0 has no inbound DAG edges (and -1 means fresh)
+            back = dval == level - 1
+            nbr_back = nbr[back]
+            rev_v.append(owner[back])
+            rev_u.append(qpos[nbr_back])
+            rev_sigma_u.append(sigma[nbr_back])
+        fwd = dval < 0
+        e_dst = nbr[fwd]
+        sigma_front = sigma[frontier]
+        frontier = _first_occurrences(e_dst)
+        if frontier.size == 0:
+            break
+        level += 1
+        dist[frontier] = level
+        qpos[frontier] = np.arange(frontier.size, dtype=np.int32)
+        sigma[frontier] += np.bincount(
+            qpos[e_dst], weights=sigma_front[owner[fwd]], minlength=frontier.size
+        )
+        fronts.append(frontier)
+
+    delta = np.zeros(n, dtype=np.float64)
+    for depth in range(len(rev_v), 0, -1):
+        front = fronts[depth]
+        prev_front = fronts[depth - 1]
+        coeff = (1.0 + delta[front]) / sigma[front]
+        contrib = rev_sigma_u[depth - 1] * coeff[rev_v[depth - 1]]
+        delta[prev_front] += np.bincount(
+            rev_u[depth - 1][::-1], weights=contrib[::-1], minlength=prev_front.size
+        )
+    delta[source] = 0.0
+    acc += delta
+
+
+def _brandes_block(
+    csr: CSRGraph, src: np.ndarray, acc: np.ndarray, indices32: np.ndarray
+) -> None:
+    n = csr.num_nodes
+    b = src.size
+    _check_block_envelope(b, n)
+    size = b * n
+    indptr = csr.indptr
+    dist = np.full(size, -1, dtype=np.int32)
+    sigma = np.zeros(size, dtype=np.float64)
+    qpos = np.empty(size, dtype=np.int32)  # composite id -> queue position
+    roots = np.arange(b, dtype=np.int32) * n + src.astype(np.int32)
+    dist[roots] = 0
+    sigma[roots] = 1.0
+    qpos[roots] = np.arange(b, dtype=np.int32)
+    fronts = [roots]  # per level, the frontier in BFS-queue order
+    # DAG edges into level L, harvested sort-free from level L's own
+    # expansion gather: a gathered slot (v at L, u at L-1) is the reverse
+    # of DAG edge u -> v, and the gather enumerates them by v's queue
+    # position ascending — exactly the grouping the back-propagation needs.
+    rev_v: list[np.ndarray] = []  # v as queue position in fronts[L]
+    rev_u: list[np.ndarray] = []  # u as queue position in fronts[L - 1]
+    rev_sigma_u: list[np.ndarray] = []  # sigma[u], final at harvest time
+    frontier = roots
+    nodes = src.astype(np.int32)
+    level = 0
+    while frontier.size:
+        nbr, src_rep = _gather_frontier(indptr, indices32, frontier, nodes, True)
+        dval = dist[nbr]
+        if level:  # level 0 has no inbound DAG edges (and -1 means fresh)
+            back = dval == level - 1
+            nbr_back = nbr[back]
+            rev_v.append(qpos[src_rep[back]])
+            rev_u.append(qpos[nbr_back])
+            rev_sigma_u.append(sigma[nbr_back])
+        # slots whose endpoint is still undiscovered are exactly the DAG
+        # edges into the next level (gathered endpoints are never deeper),
+        # in frontier x adjacency order — the reference's scan order
+        fwd = dval < 0
+        e_dst = nbr[fwd]
+        frontier = _first_occurrences(e_dst)
+        if frontier.size == 0:
+            break
+        level += 1
+        dist[frontier] = level
+        qpos[frontier] = np.arange(frontier.size, dtype=np.int32)
+        # sigma is integer-exact in float64, so bincount order is free here
+        sigma[frontier] += np.bincount(
+            qpos[e_dst], weights=sigma[src_rep[fwd]], minlength=frontier.size
+        )
+        fronts.append(frontier)
+        nodes = frontier % np.int32(n)
+
+    delta = np.zeros(size, dtype=np.float64)
+    for depth in range(len(rev_v), 0, -1):
+        front = fronts[depth]
+        prev_front = fronts[depth - 1]
+        # the reference computes coeff once per successor v and feeds
+        # delta[u] in reverse queue order of v: reversing the harvested
+        # edge stream hands bincount the same additions in the same order
+        # (ties share a successor, hence distinct bins)
+        coeff = (1.0 + delta[front]) / sigma[front]
+        contrib = rev_sigma_u[depth - 1] * coeff[rev_v[depth - 1]]
+        delta[prev_front] += np.bincount(
+            rev_u[depth - 1][::-1], weights=contrib[::-1], minlength=prev_front.size
+        )
+    delta[roots] = 0.0
+    block = delta.reshape(b, n)
+    for row in range(b):  # per-source accumulation order, like the reference
+        acc += block[row]

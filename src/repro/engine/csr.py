@@ -60,6 +60,7 @@ class CSRGraph:
         "_num_edges",
         "_adjacency_cache",
         "_triangle_cache",
+        "_lcc_cache",
     )
 
     def __init__(
@@ -84,6 +85,7 @@ class CSRGraph:
         self._num_edges = int(num_edges)
         self._adjacency_cache: dict[bool, sparse.csr_matrix] = {}
         self._triangle_cache: np.ndarray | None = None
+        self._lcc_cache: "CSRGraph | None" = None
 
     # ------------------------------------------------------------------
     # structure
@@ -195,9 +197,24 @@ class CSRGraph:
 def freeze(graph: MultiGraph) -> CSRGraph:
     """Snapshot ``graph`` into a :class:`CSRGraph`.
 
-    Node positional order is the graph's insertion order; each node's slot
-    segment preserves its adjacency-dict insertion order, so ``thaw`` can
-    rebuild an identically ordered structure.
+    The engine's only O(m)-in-Python step; prefer
+    :func:`repro.engine.dispatch.ensure_csr`, which caches one snapshot
+    per graph version so repeated metrics share it.
+
+    Parameters
+    ----------
+    graph:
+        Any multigraph — parallels and loops are carried through the
+        edge-slot expansion (a loop occupies two slots).
+
+    Returns
+    -------
+    CSRGraph
+        Immutable snapshot.  Node positional order is the graph's
+        insertion order; each node's slot segment preserves its
+        adjacency-dict insertion order (parallel slots contiguous), so
+        :func:`thaw` can rebuild an identically ordered structure and the
+        order-sensitive kernels can replay reference scan orders.
     """
     nodes = tuple(graph.nodes())
     index = {u: i for i, u in enumerate(nodes)}
@@ -218,9 +235,18 @@ def freeze(graph: MultiGraph) -> CSRGraph:
 def thaw(csr: CSRGraph) -> MultiGraph:
     """Rebuild a :class:`MultiGraph` equivalent to the snapshot.
 
-    The result has the same node set (same insertion order), the same edge
-    multiset — multiplicities and loops included — and therefore identical
-    values for every structural property.
+    Parameters
+    ----------
+    csr:
+        Any snapshot, typically from :func:`freeze`.
+
+    Returns
+    -------
+    MultiGraph
+        Same node set (same insertion order), same edge multiset —
+        multiplicities and loops included — and therefore identical values
+        for every structural property; the round trip the equivalence
+        tests assert.
     """
     g = MultiGraph()
     nodes = csr.node_list

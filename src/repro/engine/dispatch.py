@@ -50,18 +50,26 @@ AUTO_EDGE_THRESHOLD = 20_000
 #: (results committed under ``benchmarks/results/bench_core_ops_thresholds``)
 #: and rounded to one significant figure.  The freeze amortizes very
 #: differently per kernel: the JDM kernel beats the dict path almost
-#: immediately; triangle counting and the clustering aggregates must pay
-#: the scipy matrix products; a rewiring run must pay engine construction
-#: (freeze, triangle kernel, candidate arrays) before its batched windows
-#: win; the pure dict degree count is memory-light enough that the freeze
-#: share only pays off beyond the calibrated range; and few-walker batched
-#: walks are dominated by per-round stepping overhead, so only huge graphs
-#: route there automatically.
+#: immediately, as do neighbor connectivity, shared partners, λ1, and the
+#: BFS-based shortest-path/betweenness pair (whose python sides pay a
+#: per-edge simplify/component prologue every call that the engine serves
+#: from the snapshot's caches); triangle counting and the clustering
+#: aggregates must pay the scipy matrix products; a rewiring run must pay
+#: engine construction (freeze, triangle kernel, candidate arrays) before
+#: its batched windows win; the pure dict degree count is memory-light
+#: enough that the freeze share only pays off beyond the calibrated range;
+#: and few-walker batched walks are dominated by per-round stepping
+#: overhead, so only huge graphs route there automatically.
 AUTO_KERNEL_THRESHOLDS: dict[str, int] = {
     "degree": 100_000,
     "jdm": 500,
-    "triangles": 2_000,
-    "clustering": 2_000,
+    "triangles": 1_000,
+    "clustering": 1_000,
+    "knn": 500,
+    "shared_partners": 500,
+    "spectral": 500,
+    "paths": 500,
+    "betweenness": 500,
     "walks": 200_000,
     "rewiring": 20_000,
 }
@@ -103,7 +111,23 @@ def resolve_backend(
 
 
 def ensure_csr(graph: MultiGraph | CSRGraph) -> CSRGraph:
-    """Snapshot of ``graph`` (cached per graph identity and version)."""
+    """Snapshot of ``graph`` (cached per graph identity and version).
+
+    Parameters
+    ----------
+    graph:
+        A mutable graph (frozen on demand) or an existing snapshot
+        (returned as-is).
+
+    Returns
+    -------
+    CSRGraph
+        The weak-key cache holds one snapshot per live ``MultiGraph``,
+        keyed alongside its mutation ``version``; any structural change
+        invalidates the entry, so a rewired graph is never served a stale
+        snapshot.  Derived caches (adjacency matrix, triangle counts, the
+        simplified-LCC sub-snapshot) ride on the returned object.
+    """
     if isinstance(graph, CSRGraph):
         return graph
     version = graph.version
@@ -116,7 +140,15 @@ def ensure_csr(graph: MultiGraph | CSRGraph) -> CSRGraph:
 
 
 def ensure_multigraph(graph: MultiGraph | CSRGraph) -> MultiGraph:
-    """Mutable view of ``graph`` (thawed when given a snapshot)."""
+    """Mutable view of ``graph`` (thawed when given a snapshot).
+
+    Returns
+    -------
+    MultiGraph
+        The input itself when already mutable; otherwise a fresh thaw —
+        structurally identical, but *not* identity-linked to the snapshot
+        (mutations do not propagate back).
+    """
     if isinstance(graph, CSRGraph):
         return thaw(graph)
     return graph
@@ -209,3 +241,45 @@ def degree_dependent_clustering(
     from repro.metrics import clustering
 
     return clustering.degree_dependent_clustering(ensure_multigraph(graph))
+
+
+def neighbor_connectivity(
+    graph: MultiGraph | CSRGraph, backend: str = "auto"
+) -> dict[int, float]:
+    """``{k̄nn(k)}`` on the selected backend."""
+    if _resolve_for(graph, backend, "knn") == "csr":
+        return kernels.neighbor_connectivity(ensure_csr(graph))
+    from repro.metrics import basic
+
+    return basic.neighbor_connectivity(ensure_multigraph(graph))
+
+
+def shared_partner_distribution(
+    graph: MultiGraph | CSRGraph, backend: str = "auto"
+) -> dict[int, float]:
+    """``{P(s)}`` on the selected backend."""
+    if _resolve_for(graph, backend, "shared_partners") == "csr":
+        return kernels.shared_partner_distribution(ensure_csr(graph))
+    from repro.metrics import clustering
+
+    return clustering.shared_partner_distribution(ensure_multigraph(graph))
+
+
+def largest_eigenvalue(
+    graph: MultiGraph | CSRGraph, tol: float = 1e-8, backend: str = "auto"
+) -> float:
+    """λ1 on the selected backend.
+
+    Both backends run :func:`repro.metrics.spectral.matrix_largest_eigenvalue`
+    on byte-identical adjacency matrices — the CSR path only swaps the
+    per-edge Python matrix construction for the snapshot's cached
+    vectorized build.
+    """
+    from repro.metrics import spectral
+
+    if _resolve_for(graph, backend, "spectral") == "csr":
+        csr = ensure_csr(graph)
+        if csr.num_nodes == 0 or csr.num_edges == 0:
+            return 0.0
+        return spectral.matrix_largest_eigenvalue(csr.adjacency_matrix(), tol=tol)
+    return spectral.largest_eigenvalue(ensure_multigraph(graph), tol=tol)

@@ -58,7 +58,20 @@ def ensure_generator(
 # degree kernels
 # ----------------------------------------------------------------------
 def degree_vector(csr: CSRGraph) -> dict[int, int]:
-    """``{n(k)}`` over ``k >= 1`` — twin of ``metrics.basic.degree_vector``."""
+    """``{n(k)}`` over ``k >= 1`` — twin of ``metrics.basic.degree_vector``.
+
+    Parameters
+    ----------
+    csr:
+        Frozen snapshot; degrees come off ``indptr`` differences, loops
+        contributing 2 as in the reference.
+
+    Returns
+    -------
+    dict[int, int]
+        Node count per degree class, degree-0 nodes excluded (the paper's
+        degree vectors start at ``k = 1``).  Exactly the reference values.
+    """
     deg = csr.degree_array()
     deg = deg[deg >= 1]
     ks, counts = np.unique(deg, return_counts=True)
@@ -66,7 +79,14 @@ def degree_vector(csr: CSRGraph) -> dict[int, int]:
 
 
 def degree_distribution(csr: CSRGraph) -> dict[int, float]:
-    """``{P(k) = n(k) / n}`` over ``k >= 1``."""
+    """``{P(k) = n(k) / n}`` over ``k >= 1``.
+
+    Returns
+    -------
+    dict[int, float]
+        :func:`degree_vector` normalized by the node count; divisions
+        mirror the reference, so the floats are bit-identical.
+    """
     n = csr.num_nodes
     if n == 0:
         return {}
@@ -97,7 +117,14 @@ def joint_degree_matrix(csr: CSRGraph) -> dict[DegreePair, int]:
 
 
 def joint_degree_distribution(csr: CSRGraph) -> dict[DegreePair, float]:
-    """``{P(k,k') = mu m(k,k') / (2m)}`` — twin of the metrics version."""
+    """``{P(k,k') = mu m(k,k') / (2m)}`` — twin of the metrics version.
+
+    Returns
+    -------
+    dict[tuple[int, int], float]
+        Symmetric sparse mapping; the diagonal factor ``mu(k,k) = 2``
+        makes the entries sum to 1 (Eq. (3) of the paper).
+    """
     total = csr.num_edges
     if total == 0:
         return {}
@@ -161,13 +188,28 @@ def triangle_count_array(csr: CSRGraph) -> np.ndarray:
 
 
 def triangles_per_node(csr: CSRGraph) -> dict[Node, float]:
-    """``{t_i}`` keyed by original node id."""
+    """``{t_i}`` keyed by original node id.
+
+    Returns
+    -------
+    dict[Node, float]
+        :func:`triangle_count_array` re-keyed through ``node_list`` —
+        integer counts carried in float64, exactly the reference values.
+    """
     tri = triangle_count_array(csr)
     return {u: float(tri[i]) for i, u in enumerate(csr.node_list)}
 
 
 def local_clustering_array(csr: CSRGraph) -> np.ndarray:
-    """``float64[n]`` local coefficients ``2 t_i / (d_i (d_i - 1))`` (0 if d<2)."""
+    """Per-node local clustering coefficients, positionally indexed.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64[n]`` values ``2 t_i / (d_i (d_i - 1))``, 0 where the
+        degree is below 2 (the conventional value for an undefined
+        coefficient).  Shares the snapshot's triangle cache.
+    """
     tri = triangle_count_array(csr)
     deg = csr.degree_array().astype(np.float64)
     denom = deg * (deg - 1.0)
@@ -178,7 +220,16 @@ def local_clustering_array(csr: CSRGraph) -> np.ndarray:
 
 
 def network_clustering(csr: CSRGraph) -> float:
-    """``c̄`` — twin of ``metrics.clustering.network_clustering``."""
+    """``c̄`` — twin of ``metrics.clustering.network_clustering``.
+
+    Returns
+    -------
+    float
+        Mean local coefficient over all nodes.  The vectorized reduction
+        sums in a different order than the reference loop, so agreement
+        is to float round-off (1e-12 relative), the engine's documented
+        bar for the averaged clustering aggregates.
+    """
     n = csr.num_nodes
     if n == 0:
         return 0.0
@@ -186,7 +237,15 @@ def network_clustering(csr: CSRGraph) -> float:
 
 
 def degree_dependent_clustering(csr: CSRGraph) -> dict[int, float]:
-    """``{c̄(k)}`` — twin of ``metrics.clustering.degree_dependent_clustering``."""
+    """``{c̄(k)}`` — twin of ``metrics.clustering.degree_dependent_clustering``.
+
+    Returns
+    -------
+    dict[int, float]
+        Mean local coefficient per degree class ``k >= 1`` (``c̄(1) = 0``),
+        to float round-off of the reference (see
+        :func:`network_clustering`).
+    """
     if csr.num_nodes == 0:
         return {}
     local = local_clustering_array(csr)
@@ -199,6 +258,79 @@ def degree_dependent_clustering(csr: CSRGraph) -> dict[int, float]:
     sums = np.zeros(ks.shape[0], dtype=np.float64)
     np.add.at(sums, inverse, local)
     return {int(k): float(s / c) for k, s, c in zip(ks, sums, counts)}
+
+
+def neighbor_connectivity(csr: CSRGraph) -> dict[int, float]:
+    """``{k̄nn(k)}`` — twin of ``metrics.basic.neighbor_connectivity``.
+
+    Parameters
+    ----------
+    csr:
+        Frozen snapshot (multiplicities and loops honored through the
+        edge-slot expansion: each slot contributes its endpoint's degree).
+
+    Returns
+    -------
+    dict[int, float]
+        Mean neighbor degree per degree class ``k >= 1``.  Bit-identical
+        to the reference: the per-node slot-degree sums are integers in
+        float64 (exact), and the per-class accumulation runs in node
+        insertion order via the unbuffered ``np.add.at``.
+    """
+    n = csr.num_nodes
+    if n == 0:
+        return {}
+    deg = csr.degree_array()
+    row_of_slot = np.repeat(np.arange(n, dtype=np.int64), deg)
+    slot_sums = np.bincount(
+        row_of_slot, weights=deg[csr.indices].astype(np.float64), minlength=n
+    )
+    mask = deg >= 1
+    if not mask.any():
+        return {}
+    per_node = slot_sums[mask] / deg[mask]
+    ks, inverse, class_counts = np.unique(
+        deg[mask], return_inverse=True, return_counts=True
+    )
+    sums = np.zeros(ks.shape[0], dtype=np.float64)
+    np.add.at(sums, inverse, per_node)
+    return {int(k): float(s / c) for k, s, c in zip(ks, sums, class_counts)}
+
+
+def shared_partner_distribution(csr: CSRGraph) -> dict[int, float]:
+    """``{P(s)}`` — twin of ``metrics.clustering.shared_partner_distribution``.
+
+    Parameters
+    ----------
+    csr:
+        Frozen snapshot.  Parallel copies of an edge contribute separately
+        (one slot pair per copy); loops are excluded, as in the reference.
+
+    Returns
+    -------
+    dict[int, float]
+        Fraction of edges whose endpoints share ``s`` neighbors.  The
+        shared-partner counts come from the same ``A @ A`` product as the
+        reference (integer arithmetic in float64, exact), read at the slot
+        pairs with ``source < target`` — one read per non-loop edge copy.
+    """
+    if csr.num_edges == 0:
+        return {}
+    n = csr.num_nodes
+    a = csr.adjacency_matrix(drop_loops=True)
+    a2 = (a @ a).tocsr()
+    src = np.repeat(np.arange(n, dtype=np.int64), csr.degree_array())
+    dst = csr.indices
+    keep = src < dst  # one slot per edge copy; loops dropped
+    rows, cols = src[keep], dst[keep]
+    if rows.size == 0:
+        return {}
+    shared = np.asarray(a2[rows, cols]).ravel()
+    values, value_counts = np.unique(
+        np.rint(shared).astype(np.int64), return_counts=True
+    )
+    effective = rows.size
+    return {int(s): float(c / effective) for s, c in zip(values, value_counts)}
 
 
 # ----------------------------------------------------------------------

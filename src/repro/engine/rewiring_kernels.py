@@ -395,6 +395,24 @@ class CSRRewiringCore:
         two rewritten candidate slots or sharing a node with the swap),
         while everyone else's screened correction is patched per changed
         degree class — the expensive intersection work is never repeated.
+
+        Parameters
+        ----------
+        rc:
+            Rewiring coefficient: the budget is ``rc x |candidates|``
+            attempts (the paper's ``R``, with ``RC = 500`` at paper scale).
+        max_attempts:
+            Hard cap on attempts, ``None`` for no cap.
+        patience:
+            Stop after this many consecutive rejections, ``None`` to run
+            the full budget.
+
+        Returns
+        -------
+        RewiringReport
+            Identical — attempts, accepts, distances, trace — to the
+            Python core's report for the same seed, since both cores
+            consume the same blocked proposal stream.
         """
         from repro.dk.rewiring import RewiringReport
 
@@ -711,8 +729,8 @@ class CSRRewiringCore:
         keep = (self._keys[pos] == q) & (w != U[pid]) & (w != V[pid])
         pid = pid[keep]
         contrib = mw[keep] * self._mult[pos[keep]]
-        I = np.bincount(pid, weights=contrib, minlength=P)
-        return I, pid, self._class_of[w[keep]], contrib
+        common = np.bincount(pid, weights=contrib, minlength=P)
+        return common, pid, self._class_of[w[keep]], contrib
 
     def _orient_and_validate(self, i1, c1, i2, c2):
         """Oriented endpoints plus validity/corner masks for attempt draws.
@@ -779,9 +797,9 @@ class CSRRewiringCore:
         K = self._K
         U_ = np.concatenate([X, A, X, A])
         V_ = np.concatenate([Y, B, B, Y])
-        I, ppid, pcls, pcontrib = self._pair_probe(U_, V_)
-        I_xy, I_ab = I[:Vn], I[Vn : 2 * Vn]
-        I_xb, I_ay = I[2 * Vn : 3 * Vn], I[3 * Vn :]
+        common, ppid, pcls, pcontrib = self._pair_probe(U_, V_)
+        I_xy, I_ab = common[:Vn], common[Vn : 2 * Vn]
+        I_xb, I_ay = common[2 * Vn : 3 * Vn], common[3 * Vn :]
         m_xa = self._mult_many(X, A).astype(np.float64)
         m_by = self._mult_many(B, Y).astype(np.float64)
         c3 = I_xb - m_by - m_xa  # overlay-corrected common(x, b)

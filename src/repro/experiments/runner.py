@@ -22,7 +22,6 @@ from repro.metrics.suite import (
 )
 from repro.experiments.methods import (
     METHOD_NAMES,
-    MethodOutput,
     run_methods_once,
 )
 from repro.utils.rng import ensure_rng

@@ -13,7 +13,6 @@ counterpart exists) and are deterministic given a seed.
 
 from __future__ import annotations
 
-import math
 import random
 
 from repro.errors import GraphError

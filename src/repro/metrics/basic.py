@@ -84,12 +84,21 @@ def joint_degree_distribution(
     return out
 
 
-def neighbor_connectivity(graph: MultiGraph) -> dict[int, float]:
+def neighbor_connectivity(
+    graph: MultiGraph, backend: str = "python"
+) -> dict[int, float]:
     """``{k̄nn(k)}``: mean neighbor degree of degree-``k`` nodes.
 
     ``k̄nn(k) = (1/n(k)) sum_{i: d_i=k} (1/k) sum_j A_ij d_j`` — multiplicity
     (and loops, via ``A_ii d_i``) included per the adjacency convention.
+
+    ``backend`` selects the compute path (``"csr"`` / ``"auto"`` route
+    through :mod:`repro.engine.dispatch` onto a frozen snapshot).
     """
+    if backend != "python":
+        from repro.engine import dispatch
+
+        return dispatch.neighbor_connectivity(graph, backend=backend)
     degrees = graph.degrees()
     sums: Counter[int] = Counter()
     counts: Counter[int] = Counter()

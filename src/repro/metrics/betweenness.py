@@ -10,18 +10,28 @@ which is what the harness uses on the larger graphs — the paper itself
 resorts to parallel exact algorithms, noting the evaluation method "does
 not affect the performance of each method".
 
-The sweeps run on a positional CSR adjacency (``indptr`` / ``indices``
-int lists built once per call) instead of a per-call ``dict[Node,
-list[Node]]`` — node ids become dense ints, the BFS state lives in flat
-lists, and neighbor iteration walks a contiguous slice.  Neighbor order
-is the adjacency-dict insertion order either way, so sigma/dependency
-accumulation — and therefore every float in the result — is unchanged.
+Two backends (the ``backend`` keyword, default ``"python"``):
+
+* ``python`` — per-pivot Brandes sweeps on a positional CSR adjacency
+  (``indptr`` / ``indices`` int lists built once per call): node ids are
+  dense ints, the BFS state lives in flat lists, and neighbor iteration
+  walks a contiguous slice.  Neighbor order is the adjacency-dict
+  insertion order, so sigma/dependency accumulation — and therefore every
+  float in the result — is the historical behavior.
+* ``csr`` — the frontier Brandes kernel in
+  :mod:`repro.engine.bfs_kernels`: level-synchronous sweeps batched over
+  many pivots at once, with the dependency accumulation ordered to replay
+  the reference's additions exactly, so the scores are bit-identical for
+  a fixed seed.  ``auto`` picks the kernel from the calibrated
+  ``AUTO_KERNEL_THRESHOLDS["betweenness"]`` break-even.
 """
 
 from __future__ import annotations
 
 import random
 from collections import deque
+
+import numpy as np
 
 from repro.graph.components import largest_connected_component
 from repro.graph.multigraph import MultiGraph, Node
@@ -33,40 +43,65 @@ def betweenness_centrality(
     graph: MultiGraph,
     num_pivots: int | None = None,
     rng: random.Random | int | None = None,
+    backend: str = "python",
 ) -> dict[Node, float]:
     """``{b_i}`` over the largest component of the simple projection.
 
-    ``num_pivots=None`` computes the exact ordered-pair betweenness;
-    otherwise the pivot-sampled estimate scaled to the full node count.
+    Parameters
+    ----------
+    graph:
+        Any multigraph; reduced internally to its simple largest component.
+    num_pivots:
+        ``None`` computes the exact ordered-pair betweenness; otherwise the
+        pivot-sampled estimate scaled to the full node count.
+    rng:
+        Pivot-sampling randomness (consumed identically on every backend).
+    backend:
+        ``"python"`` (reference sweeps), ``"csr"`` (batched frontier
+        kernel), or ``"auto"`` (calibrated size cut).  Scores are
+        bit-identical across backends for a fixed seed.
     """
-    lcc = largest_connected_component(simplified(graph))
-    nodes = list(lcc.nodes())
-    n = len(nodes)
-    if n <= 2:
-        return {u: 0.0 for u in nodes}
+    from repro.engine.dispatch import resolve_backend
 
-    # positional CSR over the LCC (simplified: no loops, no parallels);
-    # plain int lists, which the sweep's scalar reads are fastest on
-    index = {u: i for i, u in enumerate(nodes)}
-    indptr = [0]
-    indices: list[int] = []
-    for u in nodes:
-        for v in lcc.neighbors(u):
-            if v != u:
-                indices.append(index[v])
-        indptr.append(len(indices))
+    if resolve_backend(backend, size=graph.num_edges, kernel="betweenness") == "csr":
+        from repro.engine import bfs_kernels
+        from repro.engine.dispatch import ensure_csr
 
-    if num_pivots is None or num_pivots >= n:
-        pivot_ids = range(n)
-        scale = 1.0
+        # vectorized prologue: the component snapshot's slot segments are
+        # exactly the reference's positional adjacency (simple component,
+        # one slot per distinct neighbor, in the same insertion order)
+        csr = bfs_kernels.simplified_lcc_snapshot(ensure_csr(graph))
+        nodes = list(csr.node_list)
+        n = len(nodes)
+        if n <= 2:
+            return {u: 0.0 for u in nodes}
+        pivot_ids, scale = _select_pivots(nodes, csr.index, num_pivots, rng)
+        scores = bfs_kernels.brandes_scores(
+            csr, np.asarray(list(pivot_ids), dtype=np.int64)
+        )
+        acc = [float(b) for b in scores]
     else:
-        r = ensure_rng(rng)
-        pivot_ids = [index[u] for u in r.sample(nodes, num_pivots)]
-        scale = n / num_pivots
+        lcc = largest_connected_component(simplified(graph))
+        nodes = list(lcc.nodes())
+        n = len(nodes)
+        if n <= 2:
+            return {u: 0.0 for u in nodes}
+        index = {u: i for i, u in enumerate(nodes)}
+        pivot_ids, scale = _select_pivots(nodes, index, num_pivots, rng)
 
-    acc = [0.0] * n
-    for s in pivot_ids:
-        _accumulate_from_source(indptr, indices, s, acc)
+        # positional CSR over the LCC (simplified: no loops, no parallels);
+        # plain int lists, which the sweep's scalar reads are fastest on
+        indptr = [0]
+        indices: list[int] = []
+        for u in nodes:
+            for v in lcc.neighbors(u):
+                if v != u:
+                    indices.append(index[v])
+            indptr.append(len(indices))
+
+        acc = [0.0] * n
+        for s in pivot_ids:
+            _accumulate_from_source(indptr, indices, s, acc)
 
     if scale != 1.0:
         acc = [b * scale for b in acc]
@@ -76,18 +111,36 @@ def betweenness_centrality(
     return {u: acc[i] for i, u in enumerate(nodes)}
 
 
+def _select_pivots(
+    nodes: list[Node],
+    index: dict[Node, int],
+    num_pivots: int | None,
+    rng: random.Random | int | None,
+) -> tuple[list[int] | range, float]:
+    """Pivot positions and the Brandes–Pich scale (rng consumed iff sampling)."""
+    n = len(nodes)
+    if num_pivots is None or num_pivots >= n:
+        return range(n), 1.0
+    r = ensure_rng(rng)
+    return [index[u] for u in r.sample(nodes, num_pivots)], n / num_pivots
+
+
 def degree_dependent_betweenness(
     graph: MultiGraph,
     num_pivots: int | None = None,
     rng: random.Random | int | None = None,
+    backend: str = "python",
 ) -> dict[int, float]:
     """``{b̄(k)}``: mean betweenness of the degree-``k`` nodes.
 
     Degrees are taken in the full input graph (the property indexes nodes
     by their graph degree); nodes outside the largest component have
-    betweenness 0 by convention.
+    betweenness 0 by convention.  ``backend`` is forwarded to
+    :func:`betweenness_centrality`.
     """
-    score = betweenness_centrality(graph, num_pivots=num_pivots, rng=rng)
+    score = betweenness_centrality(
+        graph, num_pivots=num_pivots, rng=rng, backend=backend
+    )
     sums: dict[int, float] = {}
     counts: dict[int, int] = {}
     for u in graph.nodes():

@@ -82,13 +82,22 @@ def degree_dependent_clustering(
     return {k: sums[k] / counts[k] for k in counts}
 
 
-def shared_partner_distribution(graph: MultiGraph) -> dict[int, float]:
+def shared_partner_distribution(
+    graph: MultiGraph, backend: str = "python"
+) -> dict[int, float]:
     """``{P(s)}``: fraction of edges whose endpoints share ``s`` neighbors.
 
     ``sp(i,j) = sum_k A_ik A_jk`` (Hunter's edgewise shared partners); each
     parallel copy of an edge contributes separately, loops are excluded
     (the paper sums over ``i < j``).
+
+    ``backend`` selects the compute path (``"csr"`` / ``"auto"`` route
+    through :mod:`repro.engine.dispatch` onto a frozen snapshot).
     """
+    if backend != "python":
+        from repro.engine import dispatch
+
+        return dispatch.shared_partner_distribution(graph, backend=backend)
     m = graph.num_edges
     if m == 0:
         return {}

@@ -15,17 +15,47 @@ from repro.graph.multigraph import MultiGraph
 from repro.metrics.matrix import to_csr
 
 
-def largest_eigenvalue(graph: MultiGraph, tol: float = 1e-8) -> float:
+def largest_eigenvalue(
+    graph: MultiGraph, tol: float = 1e-8, backend: str = "python"
+) -> float:
     """Largest eigenvalue of the adjacency matrix (0.0 for empty graphs).
 
     The adjacency matrix is symmetric non-negative, so λ1 equals the
     spectral radius; the multigraph convention (multiplicities, doubled
     loops) is preserved.
+
+    Parameters
+    ----------
+    graph:
+        Source multigraph.
+    tol:
+        ARPACK / power-iteration convergence tolerance.
+    backend:
+        ``"python"`` builds the sparse adjacency with the per-edge
+        reference loop; ``"csr"`` / ``"auto"`` route through
+        :mod:`repro.engine.dispatch`, reading the byte-identical matrix
+        off a frozen snapshot's cache instead.  The eigensolver itself is
+        shared (:func:`matrix_largest_eigenvalue`), so both backends run
+        the same arithmetic on the same matrix.
     """
+    if backend != "python":
+        from repro.engine import dispatch
+
+        return dispatch.largest_eigenvalue(graph, tol=tol, backend=backend)
     n = graph.num_nodes
     if n == 0 or graph.num_edges == 0:
         return 0.0
-    a = to_csr(graph)
+    return matrix_largest_eigenvalue(to_csr(graph), tol=tol)
+
+
+def matrix_largest_eigenvalue(a, tol: float = 1e-8) -> float:
+    """λ1 of a symmetric non-negative sparse matrix (backend-shared core).
+
+    ARPACK through scipy when the matrix is big enough to be worth it,
+    falling back to the deterministic power iteration when ARPACK fails to
+    converge (tiny or pathological matrices).
+    """
+    n = a.shape[0]
     if n >= 5:
         try:
             vals = eigsh(a, k=1, which="LA", return_eigenvectors=False, tol=tol)

@@ -70,10 +70,17 @@ class EvaluationConfig:
     BFS sources and ``betweenness_pivots`` Brandes pivots.  The defaults
     keep a full 6-method x 10-run sweep tractable in pure Python.
 
-    ``backend`` selects the compute path for the properties with engine
-    kernels (degree distribution, clustering family): ``"auto"`` routes
-    large graphs through :mod:`repro.engine.dispatch` onto frozen CSR
-    snapshots and leaves small ones on the reference implementation.
+    ``backend`` selects the compute path for every one of the 12
+    properties: ``"auto"`` routes large graphs through
+    :mod:`repro.engine.dispatch` onto frozen CSR snapshots (per-kernel
+    calibrated break-evens) and leaves small ones on the reference
+    implementation; ``"python"`` / ``"csr"`` force one side.  Results
+    agree per the engine's contract: bit-identical on fixed seeds for
+    every property except the documented round-off pair — the clustering
+    aggregates (different float summation order, ≤1e-12 relative) and λ1
+    (same byte-identical matrix, eigensolver tolerance).  ``num_nodes``
+    and ``average_degree`` are direct graph reads, the same on any
+    backend.
     """
 
     exact_threshold: int = 600
@@ -125,24 +132,30 @@ def compute_properties(
     cfg = config or EvaluationConfig()
     rng = ensure_rng(cfg.seed)
     paths = shortest_path_stats(
-        graph, num_sources=cfg.sources_for(graph), rng=random.Random(rng.random())
+        graph,
+        num_sources=cfg.sources_for(graph),
+        rng=random.Random(rng.random()),
+        backend=cfg.backend,
     )
     betweenness = degree_dependent_betweenness(
-        graph, num_pivots=cfg.pivots_for(graph), rng=random.Random(rng.random())
+        graph,
+        num_pivots=cfg.pivots_for(graph),
+        rng=random.Random(rng.random()),
+        backend=cfg.backend,
     )
     return PropertySet(
         num_nodes=float(graph.num_nodes),
         average_degree=graph.average_degree(),
         degree_distribution=degree_distribution(graph, backend=cfg.backend),
-        neighbor_connectivity=neighbor_connectivity(graph),
+        neighbor_connectivity=neighbor_connectivity(graph, backend=cfg.backend),
         clustering=network_clustering(graph, backend=cfg.backend),
         degree_clustering=degree_dependent_clustering(graph, backend=cfg.backend),
-        shared_partners=shared_partner_distribution(graph),
+        shared_partners=shared_partner_distribution(graph, backend=cfg.backend),
         average_path_length=paths.average_length,
         path_length_distribution=paths.length_distribution,
         diameter=float(paths.diameter),
         degree_betweenness=betweenness,
-        largest_eigenvalue=largest_eigenvalue(graph),
+        largest_eigenvalue=largest_eigenvalue(graph, backend=cfg.backend),
         config=cfg,
     )
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.dk.cleanup import CleanupReport, count_defects, simplify_preserving_jdm
 from repro.dk.dk_series import generate_2k
 from repro.graph.generators import configuration_model, powerlaw_degree_sequence

@@ -20,7 +20,6 @@ from repro.dk.joint_degree_matrix import (
 )
 from repro.dk.rewiring import RewiringEngine
 from repro.errors import ConstructionError, RealizabilityError
-from repro.graph.multigraph import MultiGraph
 from repro.metrics.basic import degree_vector, joint_degree_matrix
 from repro.metrics.clustering import degree_dependent_clustering
 from repro.metrics.distance import normalized_l1
