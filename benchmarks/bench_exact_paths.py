@@ -1,0 +1,119 @@
+"""Exact all-pairs shortest paths vs the sampled protocol: accuracy delta.
+
+The harness's sampled protocol estimates the shortest-path triple
+(l̄, {P(l)}, l_max) from a uniform BFS source sample; the streaming
+histogram kernels make the *exact* computation feasible well past the old
+``exact_threshold``, and ``RunContext(exact_paths=True)`` /
+``--exact-paths`` opts a run into it.  This bench measures what that
+opt-in buys: the accuracy delta of the sampled protocol against exact
+ground truth, and the wall-clock it costs, on the largest Table III
+stand-in at bench scale.
+
+The source budget comes from the same :class:`EvaluationConfig` the
+harness uses (``sources_for``), so the sampled side here is exactly the
+protocol the experiment cells run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import BENCH_EVAL, write_json, write_result
+
+from repro.graph.datasets import load_dataset
+from repro.metrics.distance import normalized_l1
+from repro.metrics.paths import shortest_path_stats
+from repro.metrics.suite import EvaluationConfig
+
+DATASET = os.environ.get("BENCH_EXACT_PATHS_DATASET", "gowalla")
+SCALE = float(os.environ.get("BENCH_EXACT_PATHS_SCALE", "0.5"))
+
+SEED = 7
+
+# The sampled protocol is an unbiased estimator over an O(n) source
+# sample; at bench scale its L1 error on P(l) sits near 0.01-0.03.  The
+# bars below are sanity rails (an order of magnitude above typical), not
+# tight tolerances — a regression that biases the sampler trips them.
+MAX_DISTRIBUTION_L1 = 0.15
+MAX_AVG_RELATIVE_ERROR = 0.10
+
+
+def test_bench_exact_paths(results_dir):
+    graph = load_dataset(DATASET, scale=SCALE)
+    assert graph.num_nodes > BENCH_EVAL.exact_threshold  # sampling engages
+
+    exact_cfg = EvaluationConfig(
+        exact_threshold=BENCH_EVAL.exact_threshold,
+        path_sources=BENCH_EVAL.path_sources,
+        seed=BENCH_EVAL.seed,
+        exact_paths=True,
+    )
+    assert exact_cfg.sources_for(graph) is None  # the harness switch
+
+    start = time.perf_counter()
+    sampled = shortest_path_stats(
+        graph,
+        num_sources=BENCH_EVAL.sources_for(graph),
+        rng=SEED,
+        backend="csr",
+    )
+    t_sampled = time.perf_counter() - start
+
+    start = time.perf_counter()
+    exact = shortest_path_stats(
+        graph, num_sources=exact_cfg.sources_for(graph), rng=SEED, backend="csr"
+    )
+    t_exact = time.perf_counter() - start
+    assert exact.exact and not sampled.exact
+
+    distribution_l1 = normalized_l1(
+        exact.length_distribution, sampled.length_distribution
+    )
+    avg_rel_error = abs(sampled.average_length - exact.average_length) / (
+        exact.average_length or 1.0
+    )
+    payload = {
+        "dataset": DATASET,
+        "scale": SCALE,
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "sampled": {
+            "sources": sampled.num_sources,
+            "average_length": sampled.average_length,
+            "diameter": sampled.diameter,
+            "seconds": t_sampled,
+        },
+        "exact": {
+            "sources": exact.num_sources,
+            "average_length": exact.average_length,
+            "diameter": exact.diameter,
+            "seconds": t_exact,
+        },
+        "accuracy_delta": {
+            "average_length_relative_error": avg_rel_error,
+            "length_distribution_l1": distribution_l1,
+            "diameter_error": abs(sampled.diameter - exact.diameter),
+        },
+        "exact_over_sampled_cost": t_exact / t_sampled,
+    }
+    write_json("bench_exact_paths.json", payload)
+    write_result(
+        "bench_exact_paths.txt",
+        "\n".join(
+            [
+                f"# exact vs sampled shortest paths, {DATASET}@{SCALE:g} "
+                f"(n={graph.num_nodes}, m={graph.num_edges})",
+                "mode\tsources\tlbar\tlmax\tseconds",
+                f"sampled\t{sampled.num_sources}\t{sampled.average_length:.4f}"
+                f"\t{sampled.diameter}\t{t_sampled:.2f}",
+                f"exact\t{exact.num_sources}\t{exact.average_length:.4f}"
+                f"\t{exact.diameter}\t{t_exact:.2f}",
+                f"P(l) L1 delta\t{distribution_l1:.4f}",
+                f"lbar relative error\t{avg_rel_error:.4f}",
+            ]
+        ),
+    )
+
+    assert distribution_l1 <= MAX_DISTRIBUTION_L1, payload
+    assert avg_rel_error <= MAX_AVG_RELATIVE_ERROR, payload

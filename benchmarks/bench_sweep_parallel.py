@@ -1,0 +1,106 @@
+"""Parallel sweep benchmark: the process-pool executor vs the serial loop.
+
+Runs the same multi-cell sweep twice through ``run_sweep`` — once under
+``RunContext(jobs=1)`` and once under ``RunContext(jobs=2)`` — from an
+equally cold dataset cache, so each side pays its real end-to-end cost
+(the serial run builds each dataset once in process; each worker builds
+the datasets it actually touches, once each, on first touch).
+
+Two assertions:
+
+* **bit-identity** — the deterministic aggregate CSV of the parallel run
+  is byte-identical to the serial run's (the executor contract);
+* **speedup** — two workers on a 4-cell grid must beat
+  :data:`TARGET_SPEEDUP` wall-clock.
+
+The wall-clock guard is only meaningful with real parallel hardware: on a
+single-CPU machine two workers time-slice one core and no speedup is
+physically possible, so the bench skips there (set ``BENCH_SWEEP_FORCE=1``
+to run anyway — bit-identity is still asserted and the measurement is
+recorded with its CPU count, but the speedup bar is not enforced).
+
+Knobs (environment):
+
+    BENCH_SWEEP_SCALE      dataset scale            (default 0.5)
+    BENCH_SWEEP_RUNS       runs per cell            (default 2)
+    BENCH_SWEEP_RC         rewiring coefficient     (default 10)
+    BENCH_SWEEP_FORCE      run despite < 2 CPUs     (default off)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+from conftest import BENCH_EVAL, write_json
+
+from repro.api import RunContext, run_sweep, sweep_to_csv
+from repro.experiments.sweeps import SweepGrid
+from repro.graph.datasets import clear_dataset_cache
+
+SCALE = float(os.environ.get("BENCH_SWEEP_SCALE", "0.5"))
+RUNS = int(os.environ.get("BENCH_SWEEP_RUNS", "2"))
+RC = float(os.environ.get("BENCH_SWEEP_RC", "10"))
+
+TARGET_SPEEDUP = 1.7  # 2 workers on a 4-cell grid
+SEED = 7
+
+
+def _grid() -> SweepGrid:
+    return SweepGrid(
+        datasets=("anybeat", "brightkite"),
+        fractions=(0.10, 0.15),
+        rcs=(RC,),
+        runs=RUNS,
+        methods=("rw", "gjoka", "proposed"),
+        scale=SCALE,
+        evaluation=BENCH_EVAL,
+    )
+
+
+def _timed_sweep(jobs: int):
+    clear_dataset_cache()  # both sides start from a cold cache
+    start = time.perf_counter()
+    results = run_sweep(_grid(), context=RunContext(seed=SEED, jobs=jobs))
+    return results, time.perf_counter() - start
+
+
+def test_bench_sweep_parallel(results_dir):
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+    enforce = cpus >= 2
+    if not enforce and os.environ.get("BENCH_SWEEP_FORCE") != "1":
+        pytest.skip("parallel sweep bench needs >= 2 CPUs")
+
+    serial, t_serial = _timed_sweep(jobs=1)
+    parallel, t_parallel = _timed_sweep(jobs=2)
+
+    serial_csv = sweep_to_csv(serial, include_timings=False)
+    parallel_csv = sweep_to_csv(parallel, include_timings=False)
+    assert serial_csv == parallel_csv  # bit-identical before timing is trusted
+
+    speedup = t_serial / t_parallel
+    payload = {
+        "cpus": cpus,
+        "speedup_guard_enforced": enforce,
+        "grid": {
+            "datasets": ["anybeat", "brightkite"],
+            "fractions": [0.10, 0.15],
+            "cells": _grid().size(),
+            "runs_per_cell": RUNS,
+            "rc": RC,
+            "scale": SCALE,
+            "methods": ["rw", "gjoka", "proposed"],
+        },
+        "jobs1_seconds": t_serial,
+        "jobs2_seconds": t_parallel,
+        "speedup": speedup,
+        "target_speedup": TARGET_SPEEDUP,
+        "bit_identical_csv": serial_csv == parallel_csv,
+    }
+    write_json("bench_sweep_parallel.json", payload)
+
+    if enforce:
+        assert speedup >= TARGET_SPEEDUP, payload

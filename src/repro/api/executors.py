@@ -1,0 +1,95 @@
+"""Executor protocol: run independent experiment cells serially or in a pool.
+
+The harness's cells are embarrassingly parallel — each is a pure function
+of its materialized config — so the execution strategy is a pluggable
+value.  Two implementations satisfy the :class:`Executor` protocol:
+
+* :class:`SerialExecutor` — an in-process loop; the reference semantics.
+* :class:`ProcessPoolExecutor` — ``jobs`` worker processes.  Cells carry
+  dataset *names*, and both the dataset registry and the CSR freeze cache
+  memoize per process — so each worker builds a dataset and its read-only
+  snapshot at most once, on first touch, and every later cell it executes
+  for that dataset reuses the same arrays.
+
+Both stream results back **in deterministic cell order** (submission
+order), whatever order workers finish in — so CSV checkpointing and
+aggregation see the same sequence either way, and because all seeds are
+spawned before execution (:mod:`repro.api.context`), serial and parallel
+runs are bit-identical on fixed seeds.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as _futures
+from collections.abc import Callable, Iterable, Iterator
+from typing import Any, Protocol, TypeVar, runtime_checkable
+
+from repro.errors import ExperimentError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Order-preserving map over independent work items."""
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[R]:
+        """Yield ``fn(item)`` for each item, in input order."""
+        ...
+
+
+class SerialExecutor:
+    """In-process reference executor: a plain streaming loop."""
+
+    jobs = 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[R]:
+        for item in items:
+            yield fn(item)
+
+
+class ProcessPoolExecutor:
+    """Process-pool executor over ``jobs`` worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count (>= 2; use :class:`SerialExecutor` for 1).
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 2:
+            raise ExperimentError(f"ProcessPoolExecutor needs jobs >= 2, got {jobs}")
+        self.jobs = jobs
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[R]:
+        """Submit every item, then yield results in submission order.
+
+        ``fn`` and the items must be picklable (module-level function,
+        plain-data configs).  Yielding blocks on the earliest unfinished
+        future, so completed later cells wait their turn — that is what
+        keeps checkpoints and aggregation deterministic.  When a cell
+        raises (or the consumer abandons the iterator), the queued
+        not-yet-started cells are cancelled rather than left to run.
+        """
+        work = list(items)
+        if not work:
+            return
+        with _futures.ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(work))
+        ) as pool:
+            pending = [pool.submit(fn, item) for item in work]
+            try:
+                for future in pending:
+                    yield future.result()
+            except BaseException:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+
+
+def executor_for(context: Any) -> Executor:
+    """The executor a :class:`~repro.api.context.RunContext` asks for."""
+    if context.jobs <= 1:
+        return SerialExecutor()
+    return ProcessPoolExecutor(context.jobs)

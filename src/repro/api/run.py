@@ -1,0 +1,32 @@
+"""The one place cells meet executors.
+
+``tables``, ``figures``, and ``sweeps`` all reduce to the same step: a
+list of materialized :class:`~repro.experiments.runner.ExperimentConfig`
+cells goes to the context's executor and aggregates stream back in cell
+order.  :func:`map_cells` is that step.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import TYPE_CHECKING
+
+from repro.api.executors import executor_for
+from repro.experiments.runner import ExperimentConfig, MethodAggregate, execute_cell
+
+if TYPE_CHECKING:
+    from repro.api.context import RunContext
+
+
+def map_cells(
+    cells: Sequence[ExperimentConfig], context: "RunContext"
+) -> Iterator[dict[str, MethodAggregate]]:
+    """Run ``cells`` on the context's executor; yield aggregates in order.
+
+    Cells carry dataset names, not graphs; each executor worker builds a
+    dataset and its read-only CSR snapshot once, on first touch (the
+    registry and freeze cache memoize per process).  Yields lazily, so
+    callers can checkpoint after each completed cell.
+    """
+    executor = executor_for(context)
+    return executor.map(execute_cell, [(config, context) for config in cells])

@@ -7,11 +7,20 @@ Commands map one-to-one onto the paper's tables and figures::
     repro table3  [--runs N] [--rc RC] [--scale S]
     repro table4  [--runs N] [--rc RC] [--scale S]
     repro table5  [--runs N] [--rc RC] [--scale S]
+    repro sweep   [--datasets a,b] [--fractions ...] [--csv PATH]
     repro fig4    [--out DIR] [--rc RC] [--scale S]
     repro ablate  [--which rewiring|rc|subgraph] [--scale S]
     repro datasets
     repro profile <dataset> [--scale S]
     repro restore <dataset> [--fraction F] [--rc RC] [--out PREFIX]
+
+Execution is described once per invocation by a
+:class:`repro.api.RunContext` built from the shared flags ``--backend``,
+``--seed``, ``--jobs``, and ``--exact-paths`` — every experiment command
+threads that single context instead of re-plumbing per-subcommand
+``backend=`` / ``seed=`` keywords.  ``--jobs 2`` runs a table's datasets
+(or a sweep's cells) in a process pool with bit-identical results to the
+serial run.
 
 Paper-scale settings (runs=10, rc=500, scale=1.0) reproduce the published
 protocol; the defaults here are the faster bench-scale settings recorded in
@@ -23,6 +32,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.api import RunContext
 from repro.experiments import figures, tables
 from repro.experiments.ablations import (
     format_ablation,
@@ -60,18 +70,42 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command")
 
-    def common(p: argparse.ArgumentParser, backend: bool = True) -> None:
+    def common(
+        p: argparse.ArgumentParser,
+        execution: bool = True,
+        jobs: bool = True,
+        exact: bool = True,
+    ) -> None:
+        """RunContext flags; ``jobs``/``exact`` are offered only on
+        commands whose execution path honors them (ablate runs its
+        variants serially on a shared walk; convergence evaluates no
+        properties)."""
         p.add_argument("--runs", type=int, default=3, help="runs per cell (paper: 10)")
         p.add_argument("--rc", type=float, default=50.0, help="rewiring coefficient (paper: 500)")
         p.add_argument("--scale", type=float, default=1.0, help="dataset stand-in scale")
-        p.add_argument("--seed", type=int, default=1, help="sweep master seed")
-        if backend:  # only commands that evaluate properties take the flag
+        p.add_argument("--seed", type=int, default=1, help="base seed (cell/run seeds are spawned from it)")
+        if execution:
             p.add_argument(
                 "--backend",
                 choices=("auto", "python", "csr"),
                 default="auto",
-                help="property-evaluation compute backend (auto upgrades "
-                "large graphs to the CSR engine kernels)",
+                help="compute backend for property evaluation and rewiring "
+                "(auto upgrades large graphs to the CSR engine kernels)",
+            )
+        if execution and jobs:
+            p.add_argument(
+                "--jobs",
+                type=int,
+                default=1,
+                help="worker processes for cell execution (results are "
+                "bit-identical to --jobs 1 on a fixed seed)",
+            )
+        if execution and exact:
+            p.add_argument(
+                "--exact-paths",
+                action="store_true",
+                help="exact all-pairs shortest paths (streaming histogram) "
+                "instead of the sampled protocol",
             )
 
     p_fig3 = sub.add_parser("fig3", help="Figure 3: average L1 vs %% queried")
@@ -94,13 +128,31 @@ def _build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=help_text)
         common(p)
 
+    p_sweep = sub.add_parser(
+        "sweep", help="cartesian sweep: datasets x fractions x RCs"
+    )
+    common(p_sweep)
+    p_sweep.add_argument(
+        "--datasets", default="anybeat", help="comma-separated names"
+    )
+    p_sweep.add_argument(
+        "--fractions", default="0.10", help="comma-separated fractions"
+    )
+    p_sweep.add_argument(
+        "--rcs", default=None,
+        help="comma-separated rewiring coefficients (default: --rc)",
+    )
+    p_sweep.add_argument(
+        "--csv", default=None, help="checkpoint CSV path (rewritten per cell)"
+    )
+
     p_fig4 = sub.add_parser("fig4", help="Figure 4: SVG graph portraits")
-    common(p_fig4, backend=False)  # renders portraits; no property evaluation
+    common(p_fig4, execution=False)  # renders portraits; no property evaluation
     p_fig4.add_argument("--out", default="figures", help="output directory")
     p_fig4.add_argument("--dataset", default="anybeat")
 
     p_abl = sub.add_parser("ablate", help="design-choice ablations")
-    common(p_abl)
+    common(p_abl, jobs=False)  # variants share one walk; inherently serial
     p_abl.add_argument(
         "--which",
         choices=("rewiring", "rc", "subgraph", "all"),
@@ -113,7 +165,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_conv = sub.add_parser(
         "convergence", help="estimator error vs crawl budget (extension study)"
     )
-    common(p_conv)
+    common(p_conv, jobs=False, exact=False)  # estimators only, no property suite
     p_conv.add_argument("--dataset", default="anybeat")
     p_conv.add_argument(
         "--fractions", default="0.02,0.05,0.10,0.20,0.40", help="comma-separated"
@@ -142,45 +194,70 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _settings(args) -> tables.TableSettings:
-    return tables.TableSettings(
-        runs=args.runs,
-        rc=args.rc,
-        scale=args.scale,
-        seed=args.seed,
-        backend=args.backend,
+def _context(args) -> RunContext:
+    """The single execution context every experiment command runs under."""
+    return RunContext(
+        backend=getattr(args, "backend", "auto"),
+        seed=getattr(args, "seed", 1),
+        exact_paths=getattr(args, "exact_paths", False),
+        jobs=getattr(args, "jobs", 1),
     )
+
+
+def _settings(args) -> tables.TableSettings:
+    return tables.TableSettings(runs=args.runs, rc=args.rc, scale=args.scale)
 
 
 def _cmd_fig3(args) -> str:
     fractions = tuple(float(f) for f in args.fractions.split(","))
     datasets = tuple(args.datasets.split(","))
     settings = figures.Figure3Settings(
-        fractions=fractions,
-        runs=args.runs,
-        rc=args.rc,
-        scale=args.scale,
-        seed=args.seed,
-        backend=args.backend,
+        fractions=fractions, runs=args.runs, rc=args.rc, scale=args.scale
     )
-    series = figures.figure3_series(settings, datasets=datasets)
+    series = figures.figure3_series(
+        settings, datasets=datasets, context=_context(args)
+    )
     return figures.format_figure3(series, fractions)
 
 
 def _cmd_table2(args) -> str:
-    return tables.format_table2(tables.table2_rows(_settings(args), TABLE2_DATASETS))
+    return tables.format_table2(
+        tables.table2_rows(_settings(args), TABLE2_DATASETS, context=_context(args))
+    )
 
 
 def _cmd_table3(args) -> str:
-    return tables.format_table3(tables.table3_rows(_settings(args), TABLE34_DATASETS))
+    return tables.format_table3(
+        tables.table3_rows(_settings(args), TABLE34_DATASETS, context=_context(args))
+    )
 
 
 def _cmd_table4(args) -> str:
-    return tables.format_table4(tables.table4_rows(_settings(args), TABLE34_DATASETS))
+    return tables.format_table4(
+        tables.table4_rows(_settings(args), TABLE34_DATASETS, context=_context(args))
+    )
 
 
 def _cmd_table5(args) -> str:
-    return tables.format_table5(tables.table5_rows(_settings(args)))
+    return tables.format_table5(
+        tables.table5_rows(_settings(args), context=_context(args))
+    )
+
+
+def _cmd_sweep(args) -> str:
+    from repro.experiments.sweeps import SweepGrid, run_sweep, sweep_to_csv
+
+    rcs = args.rcs if args.rcs is not None else f"{args.rc:g}"
+    grid = SweepGrid(
+        datasets=tuple(args.datasets.split(",")),
+        fractions=tuple(float(f) for f in args.fractions.split(",")),
+        rcs=tuple(float(rc) for rc in rcs.split(",")),
+        runs=args.runs,
+        scale=args.scale,
+    )
+    results = run_sweep(grid, csv_path=args.csv, context=_context(args))
+    # stdout stays pure CSV (pipeable) whether or not --csv also wrote a file
+    return sweep_to_csv(results).rstrip("\n")
 
 
 def _cmd_fig4(args) -> str:
@@ -194,25 +271,28 @@ def _cmd_fig4(args) -> str:
 def _cmd_ablate(args) -> str:
     from repro.metrics.suite import EvaluationConfig
 
-    evaluation = EvaluationConfig(backend=args.backend)
+    context = _context(args)
+    evaluation = EvaluationConfig(
+        backend=context.backend, exact_paths=context.exact_paths
+    )
     blocks: list[str] = []
     if args.which in ("rewiring", "all"):
         rows = rewiring_exclusion_ablation(
             dataset=args.dataset,
             rc=args.rc,
             scale=args.scale,
-            seed=args.seed,
+            seed=context.seed,
             evaluation=evaluation,
-            backend=args.backend,
+            backend=context.backend,
         )
         blocks.append(format_ablation(rows, "rewiring candidate exclusion"))
     if args.which in ("rc", "all"):
         rows = rc_sweep_ablation(
             dataset=args.dataset,
             scale=args.scale,
-            seed=args.seed,
+            seed=context.seed,
             evaluation=evaluation,
-            backend=args.backend,
+            backend=context.backend,
         )
         blocks.append(format_ablation(rows, "rewiring budget (RC) sweep"))
     if args.which in ("subgraph", "all"):
@@ -220,9 +300,9 @@ def _cmd_ablate(args) -> str:
             dataset=args.dataset,
             rc=args.rc,
             scale=args.scale,
-            seed=args.seed,
+            seed=context.seed,
             evaluation=evaluation,
-            backend=args.backend,
+            backend=context.backend,
         )
         blocks.append(format_ablation(rows, "subgraph structure use"))
     return "\n\n".join(blocks)
@@ -246,14 +326,15 @@ def _cmd_convergence(args) -> str:
         format_convergence,
     )
 
+    context = _context(args)
     fractions = tuple(float(f) for f in args.fractions.split(","))
     points = estimator_convergence(
         dataset=args.dataset,
         fractions=fractions,
         runs=args.runs,
         scale=args.scale,
-        seed=args.seed,
-        backend=args.backend,
+        seed=context.seed,
+        backend=context.backend,
     )
     return format_convergence(points, title=f"estimator convergence ({args.dataset})")
 
@@ -308,6 +389,7 @@ _HANDLERS = {
     "table3": _cmd_table3,
     "table4": _cmd_table4,
     "table5": _cmd_table5,
+    "sweep": _cmd_sweep,
     "fig4": _cmd_fig4,
     "ablate": _cmd_ablate,
     "datasets": _cmd_datasets,

@@ -4,29 +4,44 @@ Figure 3 returns per-method series over a fraction sweep, printable as a
 tab-separated block (and trivially plottable by downstream users);
 Figure 4 writes one SVG per method plus the original, using the shared
 force layout.
+
+Figure 3's (dataset × fraction) grid is flattened into one cell list and
+routed through the :class:`~repro.api.RunContext`'s executor, so
+``RunContext(jobs=N)`` runs the whole sweep concurrently while the series
+are reassembled in deterministic order.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.experiments.methods import (
     METHOD_LABELS,
     METHOD_NAMES,
     run_methods_once,
 )
-from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.runner import ExperimentConfig
 from repro.graph.datasets import FIGURE3_DATASETS, load_dataset
 from repro.metrics.suite import EvaluationConfig
 from repro.utils.rng import ensure_rng
 from repro.viz.layout import fruchterman_reingold_layout
 from repro.viz.svg import save_svg
 
+if TYPE_CHECKING:
+    from repro.api.context import RunContext
+
 
 @dataclass(frozen=True)
 class Figure3Settings:
-    """Sweep knobs for Figure 3 (paper: 1%..10% in 1% steps, 10 runs)."""
+    """Sweep knobs for Figure 3 (paper: 1%..10% in 1% steps, 10 runs).
+
+    ``seed`` / ``backend`` are legacy execution knobs; without an explicit
+    context they seed the default :class:`~repro.api.RunContext`, and
+    passing ``backend=`` here is deprecated in favor of the context.
+    """
 
     fractions: tuple[float, ...] = tuple(f / 100.0 for f in range(1, 11))
     runs: int = 3
@@ -37,32 +52,51 @@ class Figure3Settings:
     evaluation: EvaluationConfig = field(default_factory=EvaluationConfig)
     backend: str | None = None
 
+    def __post_init__(self) -> None:
+        if self.backend is not None:
+            warnings.warn(
+                "Figure3Settings(backend=...) is deprecated; pass "
+                "RunContext(backend=...) as figure3_series' context",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+
 
 def figure3_series(
     settings: Figure3Settings | None = None,
     datasets: tuple[str, ...] = FIGURE3_DATASETS,
+    context: "RunContext | None" = None,
 ) -> dict[str, dict[str, list[float]]]:
     """``{dataset: {method: [avg L1 per fraction]}}`` over the sweep."""
+    from repro.api.context import RunContext
+    from repro.api.run import map_cells
+
     s = settings or Figure3Settings()
-    out: dict[str, dict[str, list[float]]] = {}
-    for dataset in datasets:
-        series: dict[str, list[float]] = {m: [] for m in s.methods}
-        for fraction in s.fractions:
-            config = ExperimentConfig(
-                dataset=dataset,
-                fraction=fraction,
-                runs=s.runs,
-                methods=s.methods,
-                rc=s.rc,
-                scale=s.scale,
-                seed=s.seed,
-                evaluation=s.evaluation,
-                backend=s.backend,
-            )
-            aggregates = run_experiment(config)
-            for m in s.methods:
-                series[m].append(aggregates[m].average_l1)
-        out[dataset] = series
+    if context is None:
+        context = RunContext(backend=s.backend or "auto", seed=s.seed)
+
+    grid = [(d, f) for d in datasets for f in s.fractions]
+    cells = context.materialize(
+        ExperimentConfig(
+            dataset=dataset,
+            fraction=fraction,
+            runs=s.runs,
+            methods=s.methods,
+            rc=s.rc,
+            scale=s.scale,
+            seed=s.seed,
+            evaluation=s.evaluation,
+            backend=s.backend,
+        )
+        for dataset, fraction in grid
+    )
+
+    out: dict[str, dict[str, list[float]]] = {
+        d: {m: [] for m in s.methods} for d in datasets
+    }
+    for (dataset, _), aggregates in zip(grid, map_cells(cells, context)):
+        for m in s.methods:
+            out[dataset][m].append(aggregates[m].average_l1)
     return out
 
 
@@ -101,19 +135,25 @@ def figure4_render(
     output_dir: str | os.PathLike,
     settings: Figure4Settings | None = None,
     gallery: bool = True,
+    context: "RunContext | None" = None,
 ) -> list[str]:
     """Write the original's and every method's SVG portrait; returns paths.
 
     With ``gallery=True`` (default) an ``fig4_<dataset>.html`` page
     embedding every panel side by side is written as well and appended to
-    the returned path list.
+    the returned path list.  ``context`` supplies the generation seed and
+    the rewiring backend; without one the settings' ``seed`` and the
+    ``auto`` backend apply.
     """
     s = settings or Figure4Settings()
+    seed = context.seed if context is not None else s.seed
+    backend = context.backend if context is not None else "auto"
     os.makedirs(output_dir, exist_ok=True)
-    rng = ensure_rng(s.seed)
+    rng = ensure_rng(seed)
     original = load_dataset(s.dataset, scale=s.scale)
     outputs = run_methods_once(
-        original, s.fraction, methods=s.methods, rc=s.rc, rng=rng
+        original, s.fraction, methods=s.methods, rc=s.rc, rng=rng,
+        backend=backend,
     )
 
     paths: list[str] = []

@@ -20,26 +20,30 @@ from repro.metrics.suite import PROPERTY_LABELS, PROPERTY_NAMES
 SweepResults = dict[str, dict[str, MethodAggregate]]
 
 
-def results_to_csv(results: SweepResults) -> str:
-    """CSV text: dataset, method, 12 property distances, avg, sd, timings."""
+def results_to_csv(results: SweepResults, include_timings: bool = True) -> str:
+    """CSV text: dataset, method, 12 property distances, avg, sd, timings.
+
+    ``include_timings=False`` drops the two wall-clock columns; the
+    remaining columns are deterministic on fixed seeds (the executor
+    layer's serial↔parallel bit-identity contract covers exactly them).
+    """
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     header = (
         ["dataset", "method"]
         + list(PROPERTY_NAMES)
-        + ["average_l1", "std_l1", "total_seconds", "rewiring_seconds"]
+        + ["average_l1", "std_l1"]
     )
+    if include_timings:
+        header += ["total_seconds", "rewiring_seconds"]
     writer.writerow(header)
     for dataset, by_method in results.items():
         for method, agg in by_method.items():
             row = [dataset, method]
             row += [f"{agg.per_property[p]:.6f}" for p in PROPERTY_NAMES]
-            row += [
-                f"{agg.average_l1:.6f}",
-                f"{agg.std_l1:.6f}",
-                f"{agg.total_seconds:.6f}",
-                f"{agg.rewiring_seconds:.6f}",
-            ]
+            row += [f"{agg.average_l1:.6f}", f"{agg.std_l1:.6f}"]
+            if include_timings:
+                row += [f"{agg.total_seconds:.6f}", f"{agg.rewiring_seconds:.6f}"]
             writer.writerow(row)
     return buffer.getvalue()
 

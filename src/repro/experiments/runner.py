@@ -1,15 +1,22 @@
-"""Sweep engine: repeated fair-comparison runs with aggregation.
+"""Experiment cells: repeated fair-comparison runs with aggregation.
 
 One :func:`run_experiment` call reproduces one (dataset, fraction) cell of
 the paper's evaluation: ``runs`` independent rounds, per-property L1
 distances averaged over rounds, and the paper's headline ``avg ± sd over
 the 12 properties`` computed on those averaged distances.  Generation
 times are averaged over rounds as well (Table IV / V).
+
+Seeding: every round draws its generator from a seed *spawned* from the
+cell seed (:func:`repro.api.context.spawn_seeds`), so a cell's outcome is
+a pure function of its :class:`ExperimentConfig` — rounds never share a
+generator stream.  That is the property the executor layer
+(:mod:`repro.api.executors`) relies on for serial↔parallel bit-identity.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.errors import ExperimentError
 from repro.graph.datasets import load_dataset
@@ -27,6 +34,9 @@ from repro.experiments.methods import (
 from repro.utils.rng import ensure_rng
 from repro.utils.stats import mean, pstdev
 
+if TYPE_CHECKING:
+    from repro.api.context import RunContext
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -37,8 +47,9 @@ class ExperimentConfig:
     methods; ``evaluation`` controls exact-vs-sampled global metrics.
     ``backend`` (``"auto" | "python" | "csr"``), when set, overrides the
     evaluation config's compute backend for every property evaluation in
-    the cell *and* selects the generative methods' rewiring backend — the
-    CLI's ``--backend`` lands here.
+    the cell *and* selects the generative methods' rewiring backend; a
+    ``None`` backend is filled in from the :class:`~repro.api.RunContext`
+    the cell runs under.
     """
 
     dataset: str
@@ -78,31 +89,40 @@ class MethodAggregate:
 def run_experiment(
     config: ExperimentConfig,
     original: MultiGraph | None = None,
+    context: "RunContext | None" = None,
 ) -> dict[str, MethodAggregate]:
     """Run one experiment cell; returns per-method aggregates.
 
     ``original`` overrides the dataset lookup (tests inject small graphs).
+    ``context``, when given, threads its execution fields into the config
+    (:meth:`repro.api.RunContext.configure`): the backend fills a ``None``
+    ``config.backend`` and ``exact_paths`` upgrades the evaluation.  The
+    per-run seeds are always spawned from ``config.seed``, so the result
+    is deterministic for a fixed config regardless of who executes it.
     """
+    from repro.api.context import spawn_seeds
+
     if config.runs < 1:
         raise ExperimentError("need at least one run")
+    if context is not None:
+        config = context.configure(config)
     graph = original if original is not None else load_dataset(
         config.dataset, scale=config.scale
     )
     evaluation = config.evaluation_config()
     truth = compute_properties(graph, evaluation)
-    rng = ensure_rng(config.seed)
 
     distances: dict[str, list[dict[str, float]]] = {m: [] for m in config.methods}
     times: dict[str, list[float]] = {m: [] for m in config.methods}
     rewire_times: dict[str, list[float]] = {m: [] for m in config.methods}
 
-    for _ in range(config.runs):
+    for run_seed in spawn_seeds(config.seed, config.runs):
         outputs = run_methods_once(
             graph,
             config.fraction,
             methods=config.methods,
             rc=config.rc,
-            rng=rng,
+            rng=ensure_rng(run_seed),
             max_rewiring_attempts=config.max_rewiring_attempts,
             backend=config.backend or "auto",
         )
@@ -116,6 +136,20 @@ def run_experiment(
         method: _aggregate(method, distances[method], times[method], rewire_times[method])
         for method in config.methods
     }
+
+
+def execute_cell(
+    payload: tuple[ExperimentConfig, "RunContext"],
+) -> dict[str, MethodAggregate]:
+    """Executor-side cell entry point.
+
+    Takes the (config, context) pair as one picklable payload — this is
+    the function the process-pool workers receive, so it must stay
+    module-level.  The serial executor calls it too, keeping one code
+    path.
+    """
+    config, context = payload
+    return run_experiment(config, context=context)
 
 
 def _aggregate(

@@ -4,13 +4,24 @@ The table/figure modules cover the paper's fixed protocols; this module is
 the general tool behind them — a cartesian sweep over datasets, crawl
 fractions, and rewiring budgets, with results streamed into the CSV/
 Markdown writers so long runs survive interruption.
+
+Execution goes through the :mod:`repro.api` layer: :func:`run_sweep`
+materializes every cell with its spawned seed, then hands the list to the
+context's executor (serial in process, or a ``jobs``-worker pool where
+each worker builds a dataset and its read-only CSR snapshot once, on
+first touch).  Results stream back in deterministic cell order, so the
+CSV checkpoint after cell *k* is identical however many workers ran —
+and a ``jobs=2`` sweep is bit-identical to ``jobs=1`` on fixed seeds
+(timing columns aside, which are measurements).
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from collections.abc import Iterator
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ExperimentError
 from repro.experiments.methods import METHOD_NAMES
@@ -18,14 +29,22 @@ from repro.experiments.report import results_to_csv
 from repro.experiments.runner import (
     ExperimentConfig,
     MethodAggregate,
-    run_experiment,
 )
 from repro.metrics.suite import EvaluationConfig
+
+if TYPE_CHECKING:
+    from repro.api.context import RunContext
 
 
 @dataclass(frozen=True)
 class SweepGrid:
-    """Cartesian sweep specification."""
+    """Cartesian sweep specification.
+
+    ``seed`` and ``backend`` are legacy per-grid execution knobs: when
+    :func:`run_sweep` is called without a context they seed a default
+    :class:`~repro.api.RunContext`; passing ``backend=`` here is
+    deprecated — put it on the context instead.
+    """
 
     datasets: tuple[str, ...]
     fractions: tuple[float, ...] = (0.10,)
@@ -35,24 +54,50 @@ class SweepGrid:
     scale: float = 1.0
     seed: int = 1
     evaluation: EvaluationConfig = field(default_factory=EvaluationConfig)
+    backend: str | None = None
 
-    def cells(self) -> Iterator[ExperimentConfig]:
-        """Yield one :class:`ExperimentConfig` per grid cell."""
+    def __post_init__(self) -> None:
+        if self.backend is not None:
+            warnings.warn(
+                "SweepGrid(backend=...) is deprecated; pass "
+                "RunContext(backend=...) to run_sweep instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+
+    def cells(
+        self, context: "RunContext | None" = None
+    ) -> Iterator[ExperimentConfig]:
+        """Yield one :class:`ExperimentConfig` per grid cell.
+
+        With a ``context``, every cell carries the context's compute
+        backend (unless the grid pinned one), its evaluation-mode
+        upgrades, and a per-cell seed spawned from the context's base
+        seed; without one, the legacy fields (``seed``, ``backend``) are
+        threaded as-is into every cell.
+        """
         if not self.datasets:
             raise ExperimentError("sweep needs at least one dataset")
-        for dataset in self.datasets:
-            for fraction in self.fractions:
-                for rc in self.rcs:
-                    yield ExperimentConfig(
-                        dataset=dataset,
-                        fraction=fraction,
-                        runs=self.runs,
-                        methods=self.methods,
-                        rc=rc,
-                        scale=self.scale,
-                        seed=self.seed,
-                        evaluation=self.evaluation,
-                    )
+        raw = (
+            ExperimentConfig(
+                dataset=dataset,
+                fraction=fraction,
+                runs=self.runs,
+                methods=self.methods,
+                rc=rc,
+                scale=self.scale,
+                seed=self.seed,
+                evaluation=self.evaluation,
+                backend=self.backend,
+            )
+            for dataset in self.datasets
+            for fraction in self.fractions
+            for rc in self.rcs
+        )
+        if context is None:
+            yield from raw
+        else:
+            yield from context.materialize(raw)
 
     def size(self) -> int:
         """Number of cells in the grid."""
@@ -77,25 +122,43 @@ class SweepCellResult:
 def run_sweep(
     grid: SweepGrid,
     csv_path: str | os.PathLike | None = None,
+    context: "RunContext | None" = None,
 ) -> list[SweepCellResult]:
     """Execute every cell of ``grid`` (optionally checkpointing to CSV).
 
-    When ``csv_path`` is given, the CSV is rewritten after every completed
-    cell, so a killed sweep loses at most one cell of work.
+    ``context`` selects the backend, base seed, evaluation mode, and
+    worker count; when omitted, a serial context is built from the grid's
+    legacy ``seed`` / ``backend`` fields.  When ``csv_path`` is given, the
+    CSV is rewritten after every completed cell — in deterministic cell
+    order even under a process pool — so a killed sweep loses at most one
+    cell of work.
     """
+    from repro.api.context import RunContext
+    from repro.api.run import map_cells
+
+    if context is None:
+        context = RunContext(backend=grid.backend or "auto", seed=grid.seed)
+    cells = list(grid.cells(context))
+
     results: list[SweepCellResult] = []
-    for config in grid.cells():
-        aggregates = run_experiment(config)
+    for config, aggregates in zip(cells, map_cells(cells, context)):
         results.append(SweepCellResult(config=config, aggregates=aggregates))
         if csv_path is not None:
             _write_checkpoint(results, csv_path)
     return results
 
 
-def sweep_to_csv(results: list[SweepCellResult]) -> str:
-    """Serialize a sweep with the cell key as the dataset column."""
+def sweep_to_csv(
+    results: list[SweepCellResult], include_timings: bool = True
+) -> str:
+    """Serialize a sweep with the cell key as the dataset column.
+
+    ``include_timings=False`` drops the wall-clock columns, leaving only
+    the deterministic aggregates — the form covered by the serial↔parallel
+    bit-identity contract (timings are measurements and vary run to run).
+    """
     keyed = {cell.key(): cell.aggregates for cell in results}
-    return results_to_csv(keyed)
+    return results_to_csv(keyed, include_timings=include_timings)
 
 
 def best_method_per_cell(results: list[SweepCellResult]) -> dict[str, str]:

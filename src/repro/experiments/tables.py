@@ -4,20 +4,28 @@ Each ``tableN_rows`` function runs the corresponding experiment and returns
 structured rows; each ``format_tableN`` renders them in the paper's layout
 (datasets x methods, lowest value per column implicitly comparable).  The
 CLI and the benchmark harness print these verbatim.
+
+Execution routes through :mod:`repro.api`: every dataset is one cell, the
+cell list goes to the context's executor (``RunContext(jobs=N)`` runs the
+datasets of a table concurrently), and rows come back in dataset order.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.experiments.methods import METHOD_LABELS, METHOD_NAMES
 from repro.experiments.runner import (
     ExperimentConfig,
     MethodAggregate,
-    run_experiment,
 )
 from repro.graph.datasets import TABLE2_DATASETS, TABLE34_DATASETS, YOUTUBE_DATASET
 from repro.metrics.suite import PROPERTY_LABELS, PROPERTY_NAMES, EvaluationConfig
+
+if TYPE_CHECKING:
+    from repro.api.context import RunContext
 
 
 @dataclass(frozen=True)
@@ -27,6 +35,11 @@ class TableSettings:
     The paper uses 10 runs, 10% queried (1% for YouTube), and RC = 500.
     Defaults here are the bench-scale settings recorded in EXPERIMENTS.md;
     pass paper-scale values for a full run.
+
+    ``seed`` and ``backend`` are legacy execution knobs kept as shims:
+    without an explicit context they seed the default
+    :class:`~repro.api.RunContext`; passing ``backend=`` here is
+    deprecated — put it on the context.
     """
 
     runs: int = 3
@@ -37,6 +50,15 @@ class TableSettings:
     evaluation: EvaluationConfig = field(default_factory=EvaluationConfig)
     methods: tuple[str, ...] = METHOD_NAMES
     backend: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend is not None:
+            warnings.warn(
+                "TableSettings(backend=...) is deprecated; pass "
+                "RunContext(backend=...) as the table function's context",
+                DeprecationWarning,
+                stacklevel=3,
+            )
 
 
 def _cell(dataset: str, settings: TableSettings, fraction: float | None = None):
@@ -53,16 +75,41 @@ def _cell(dataset: str, settings: TableSettings, fraction: float | None = None):
     )
 
 
+def _context_for(settings: TableSettings, context: "RunContext | None") -> "RunContext":
+    """The execution context: explicit, or derived from legacy settings."""
+    from repro.api.context import RunContext
+
+    if context is not None:
+        return context
+    return RunContext(backend=settings.backend or "auto", seed=settings.seed)
+
+
+def _run_cells(
+    datasets: tuple[str, ...],
+    settings: TableSettings,
+    context: "RunContext",
+    fraction: float | None = None,
+) -> dict[str, dict[str, MethodAggregate]]:
+    """One cell per dataset, through the context's executor, in order."""
+    from repro.api.run import map_cells
+
+    cells = context.materialize(
+        _cell(d, settings, fraction=fraction) for d in datasets
+    )
+    return dict(zip(datasets, map_cells(cells, context)))
+
+
 # ----------------------------------------------------------------------
 # Table II: per-property L1 at 10% queried (Slashdot / Gowalla / Livemocha)
 # ----------------------------------------------------------------------
 def table2_rows(
     settings: TableSettings | None = None,
     datasets: tuple[str, ...] = TABLE2_DATASETS,
+    context: "RunContext | None" = None,
 ) -> dict[str, dict[str, MethodAggregate]]:
     """``{dataset: {method: aggregate}}`` for the Table II datasets."""
     s = settings or TableSettings()
-    return {d: run_experiment(_cell(d, s)) for d in datasets}
+    return _run_cells(datasets, s, _context_for(s, context))
 
 
 def format_table2(results: dict[str, dict[str, MethodAggregate]]) -> str:
@@ -82,10 +129,11 @@ def format_table2(results: dict[str, dict[str, MethodAggregate]]) -> str:
 def table3_rows(
     settings: TableSettings | None = None,
     datasets: tuple[str, ...] = TABLE34_DATASETS,
+    context: "RunContext | None" = None,
 ) -> dict[str, dict[str, MethodAggregate]]:
     """``{dataset: {method: aggregate}}`` for the Table III datasets."""
     s = settings or TableSettings()
-    return {d: run_experiment(_cell(d, s)) for d in datasets}
+    return _run_cells(datasets, s, _context_for(s, context))
 
 
 def format_table3(results: dict[str, dict[str, MethodAggregate]]) -> str:
@@ -107,9 +155,10 @@ def format_table3(results: dict[str, dict[str, MethodAggregate]]) -> str:
 def table4_rows(
     settings: TableSettings | None = None,
     datasets: tuple[str, ...] = TABLE34_DATASETS,
+    context: "RunContext | None" = None,
 ) -> dict[str, dict[str, MethodAggregate]]:
     """Same sweep as Table III; the formatter reads the timing fields."""
-    return table3_rows(settings, datasets)
+    return table3_rows(settings, datasets, context=context)
 
 
 def format_table4(results: dict[str, dict[str, MethodAggregate]]) -> str:
@@ -137,6 +186,7 @@ def format_table4(results: dict[str, dict[str, MethodAggregate]]) -> str:
 def table5_rows(
     settings: TableSettings | None = None,
     fraction: float = 0.01,
+    context: "RunContext | None" = None,
 ) -> dict[str, MethodAggregate]:
     """``{method: aggregate}`` for the YouTube stand-in at 1% queried.
 
@@ -147,7 +197,8 @@ def table5_rows(
     Benches pass a scale-compensated fraction and record it.
     """
     s = settings or TableSettings(runs=2)
-    return run_experiment(_cell(YOUTUBE_DATASET, s, fraction=fraction))
+    ctx = _context_for(s, context)
+    return _run_cells((YOUTUBE_DATASET,), s, ctx, fraction=fraction)[YOUTUBE_DATASET]
 
 
 def format_table5(results: dict[str, MethodAggregate]) -> str:

@@ -54,11 +54,20 @@ def matrix_largest_eigenvalue(a, tol: float = 1e-8) -> float:
     ARPACK through scipy when the matrix is big enough to be worth it,
     falling back to the deterministic power iteration when ARPACK fails to
     converge (tiny or pathological matrices).
+
+    The Lanczos start vector is pinned (uniform, the power iteration's
+    start) rather than left to ARPACK's process-state randomness, so the
+    result is a deterministic function of the matrix — the property the
+    executor layer's serial↔parallel bit-identity contract needs, since
+    worker processes each run their own ARPACK.
     """
     n = a.shape[0]
     if n >= 5:
+        v0 = np.full(n, 1.0 / np.sqrt(n))
         try:
-            vals = eigsh(a, k=1, which="LA", return_eigenvectors=False, tol=tol)
+            vals = eigsh(
+                a, k=1, which="LA", return_eigenvectors=False, tol=tol, v0=v0
+            )
             return float(vals[0])
         except (ArpackNoConvergence, RuntimeError):
             pass  # fall through to power iteration

@@ -70,6 +70,14 @@ class EvaluationConfig:
     BFS sources and ``betweenness_pivots`` Brandes pivots.  The defaults
     keep a full 6-method x 10-run sweep tractable in pure Python.
 
+    ``exact_paths`` opts the shortest-path triple (l̄, {P(l)}, l_max) out
+    of the sampled protocol entirely: BFS runs from *every* node regardless
+    of ``exact_threshold``.  On the CSR backend the length histogram
+    streams (the (sources × nodes) distance matrix is never materialized),
+    which is what makes exact mode feasible at large scale; betweenness
+    keeps its pivot sampling either way.  The harness exposes this as
+    ``RunContext(exact_paths=True)`` / ``--exact-paths``.
+
     ``backend`` selects the compute path for every one of the 12
     properties: ``"auto"`` routes large graphs through
     :mod:`repro.engine.dispatch` onto frozen CSR snapshots (per-kernel
@@ -88,10 +96,11 @@ class EvaluationConfig:
     betweenness_pivots: int = 64
     seed: int = 7
     backend: str = "auto"
+    exact_paths: bool = False
 
     def sources_for(self, graph: MultiGraph) -> int | None:
         """BFS source budget for ``graph`` (None = exact)."""
-        if graph.num_nodes <= self.exact_threshold:
+        if self.exact_paths or graph.num_nodes <= self.exact_threshold:
             return None
         return min(self.path_sources, graph.num_nodes)
 

@@ -1,0 +1,261 @@
+"""Tests for the ``repro.api`` layer: RunContext, executors, and the
+serial↔parallel equivalence contract of the rewired experiment modules."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api import (
+    ProcessPoolExecutor,
+    RunContext,
+    SerialExecutor,
+    executor_for,
+    run_sweep,
+    spawn_seeds,
+    sweep_to_csv,
+)
+from repro.errors import ExperimentError
+from repro.experiments.figures import Figure3Settings
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.sweeps import SweepGrid
+from repro.experiments.tables import TableSettings, format_table2, table2_rows
+from repro.metrics.suite import EvaluationConfig
+
+FAST_EVAL = EvaluationConfig(exact_threshold=200, path_sources=32, betweenness_pivots=16)
+
+
+class TestRunContext:
+    def test_defaults(self):
+        ctx = RunContext()
+        assert (ctx.backend, ctx.seed, ctx.exact_paths, ctx.jobs) == (
+            "auto", 1, False, 1,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            RunContext(backend="gpu")
+        with pytest.raises(ExperimentError):
+            RunContext(jobs=0)
+
+    def test_seed_spawning_deterministic(self):
+        a = RunContext(seed=9)
+        b = RunContext(seed=9)
+        assert a.seed_for(3) == b.seed_for(3)
+        assert a.seed_for(3) != a.seed_for(4)
+        assert spawn_seeds(a.seed_for(3), 4) == spawn_seeds(b.seed_for(3), 4)
+        # distinct base seeds diverge, negative bases are accepted
+        assert RunContext(seed=10).seed_for(3) != a.seed_for(3)
+        assert spawn_seeds(-5, 2) == spawn_seeds(-5, 2)
+
+    def test_configure_fills_only_unset_backend(self):
+        ctx = RunContext(backend="csr")
+        filled = ctx.configure(ExperimentConfig(dataset="x"))
+        assert filled.backend == "csr"
+        pinned = ctx.configure(ExperimentConfig(dataset="x", backend="python"))
+        assert pinned.backend == "python"
+
+    def test_configure_exact_paths_is_sticky(self):
+        ctx = RunContext(exact_paths=True)
+        config = ctx.configure(ExperimentConfig(dataset="x", evaluation=FAST_EVAL))
+        assert config.evaluation.exact_paths
+        # the context never turns an explicit opt-in off
+        pre = EvaluationConfig(exact_paths=True)
+        out = RunContext().configure(ExperimentConfig(dataset="x", evaluation=pre))
+        assert out.evaluation.exact_paths
+
+
+class TestExactPathsMode:
+    def test_sources_override(self, social_graph):
+        sampled = EvaluationConfig(exact_threshold=10, path_sources=4)
+        assert sampled.sources_for(social_graph) == 4
+        exact = EvaluationConfig(exact_threshold=10, path_sources=4, exact_paths=True)
+        assert exact.sources_for(social_graph) is None
+        # betweenness keeps its pivot sampling
+        assert exact.pivots_for(social_graph) is not None
+
+
+def _slow_square(x: int) -> int:
+    """Module-level worker fn (pickled into the pool)."""
+    if x == 0:
+        time.sleep(0.3)  # first item finishes last: order must still hold
+    return x * x
+
+
+def _explode(x: int) -> int:
+    if x == 0:
+        raise ValueError("boom")
+    return x
+
+
+class TestExecutors:
+    def test_serial_streams_in_order(self):
+        out = list(SerialExecutor().map(_slow_square, [1, 2, 3]))
+        assert out == [1, 4, 9]
+
+    def test_executor_for_dispatch(self):
+        assert isinstance(executor_for(RunContext(jobs=1)), SerialExecutor)
+        pool = executor_for(RunContext(jobs=3))
+        assert isinstance(pool, ProcessPoolExecutor)
+        assert pool.jobs == 3
+
+    def test_pool_requires_two_jobs(self):
+        with pytest.raises(ExperimentError):
+            ProcessPoolExecutor(1)
+
+    def test_pool_preserves_submission_order(self):
+        out = list(ProcessPoolExecutor(2).map(_slow_square, [0, 1, 2, 3]))
+        assert out == [0, 1, 4, 9]
+
+    def test_pool_empty_items(self):
+        assert list(ProcessPoolExecutor(2).map(_slow_square, [])) == []
+
+    def test_pool_propagates_cell_error(self):
+        with pytest.raises(ValueError, match="boom"):
+            list(ProcessPoolExecutor(2).map(_explode, [0, 1, 2, 3]))
+
+
+class TestSweepGridBackendThreading:
+    """Regression: SweepGrid.cells() used to drop the compute backend."""
+
+    def test_cells_carry_context_backend(self):
+        grid = SweepGrid(datasets=("anybeat",), fractions=(0.1, 0.2))
+        cells = list(grid.cells(RunContext(backend="csr")))
+        assert [c.backend for c in cells] == ["csr", "csr"]
+        # and the backend reaches the per-cell evaluation config
+        assert all(c.evaluation_config().backend == "csr" for c in cells)
+
+    def test_grid_pinned_backend_wins(self):
+        with pytest.warns(DeprecationWarning):
+            grid = SweepGrid(datasets=("anybeat",), backend="python")
+        cells = list(grid.cells(RunContext(backend="csr")))
+        assert cells[0].backend == "python"
+
+    def test_cells_get_spawned_seeds(self):
+        grid = SweepGrid(datasets=("anybeat",), fractions=(0.1, 0.2))
+        ctx = RunContext(seed=5)
+        seeds = [c.seed for c in grid.cells(ctx)]
+        assert seeds == [ctx.seed_for(0), ctx.seed_for(1)]
+        assert len(set(seeds)) == 2
+
+    def test_legacy_cells_unchanged(self):
+        grid = SweepGrid(datasets=("anybeat",), fractions=(0.1,), seed=3)
+        cell = next(grid.cells())
+        assert cell.seed == 3
+        assert cell.backend is None
+
+
+class TestSerialParallelEquivalence:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return SweepGrid(
+            datasets=("anybeat",),
+            fractions=(0.1, 0.2),
+            rcs=(3.0,),
+            runs=1,
+            methods=("rw", "proposed"),
+            scale=0.12,
+            evaluation=FAST_EVAL,
+        )
+
+    def test_jobs2_bit_identical_to_serial(self, grid, tmp_path):
+        serial_csv = tmp_path / "serial.csv"
+        parallel_csv = tmp_path / "parallel.csv"
+        serial = run_sweep(grid, csv_path=serial_csv, context=RunContext(seed=5))
+        parallel = run_sweep(
+            grid, csv_path=parallel_csv, context=RunContext(seed=5, jobs=2)
+        )
+        # the deterministic aggregate columns are byte-identical
+        assert sweep_to_csv(serial, include_timings=False) == sweep_to_csv(
+            parallel, include_timings=False
+        )
+        # and so are the underlying per-property aggregates, exactly
+        for s_cell, p_cell in zip(serial, parallel):
+            assert s_cell.config == p_cell.config
+            for method in s_cell.aggregates:
+                assert (
+                    s_cell.aggregates[method].per_property
+                    == p_cell.aggregates[method].per_property
+                )
+                assert (
+                    s_cell.aggregates[method].average_l1
+                    == p_cell.aggregates[method].average_l1
+                )
+        # checkpoints were written for both runs, in the same cell order
+        s_rows = serial_csv.read_text().splitlines()
+        p_rows = parallel_csv.read_text().splitlines()
+        assert [r.split(",")[0] for r in s_rows] == [r.split(",")[0] for r in p_rows]
+
+    def test_same_seed_same_results_across_calls(self, grid):
+        a = run_sweep(grid, context=RunContext(seed=5))
+        b = run_sweep(grid, context=RunContext(seed=5))
+        assert sweep_to_csv(a, include_timings=False) == sweep_to_csv(
+            b, include_timings=False
+        )
+
+
+class TestDeprecationShims:
+    def test_table_settings_backend_warns_and_forwards(self):
+        with pytest.warns(DeprecationWarning, match="RunContext"):
+            settings = TableSettings(
+                runs=1, rc=3, scale=0.12, methods=("rw",),
+                evaluation=FAST_EVAL, backend="python",
+            )
+        shim = table2_rows(settings, datasets=("anybeat",))
+        via_context = table2_rows(
+            TableSettings(
+                runs=1, rc=3, scale=0.12, methods=("rw",), evaluation=FAST_EVAL
+            ),
+            datasets=("anybeat",),
+            context=RunContext(backend="python"),
+        )
+        assert format_table2(shim) == format_table2(via_context)
+
+    def test_figure3_settings_backend_warns(self):
+        with pytest.warns(DeprecationWarning, match="RunContext"):
+            Figure3Settings(backend="csr")
+
+    def test_sweep_grid_backend_warns(self):
+        with pytest.warns(DeprecationWarning, match="RunContext"):
+            SweepGrid(datasets=("anybeat",), backend="csr")
+
+    def test_default_constructors_do_not_warn(self, recwarn):
+        TableSettings()
+        Figure3Settings()
+        SweepGrid(datasets=("anybeat",))
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+
+class TestRunExperimentContext:
+    def test_context_backend_reaches_cell(self, social_graph):
+        config = ExperimentConfig(
+            dataset="ignored", fraction=0.25, runs=1, methods=("rw",),
+            evaluation=FAST_EVAL,
+        )
+        serial = run_experiment(
+            config, original=social_graph, context=RunContext(backend="python", seed=2)
+        )
+        csr = run_experiment(
+            config, original=social_graph, context=RunContext(backend="csr", seed=2)
+        )
+        # same seeds, same sampled protocol: backends agree on the
+        # bit-identical properties (engine contract), so the headline
+        # numbers match to float round-off
+        assert serial["rw"].average_l1 == pytest.approx(csr["rw"].average_l1)
+
+
+class TestCliSweep:
+    def test_sweep_command(self, capsys, tmp_path):
+        from repro.cli import main
+
+        csv_path = tmp_path / "sweep.csv"
+        assert main([
+            "sweep", "--datasets", "anybeat", "--fractions", "0.2",
+            "--runs", "1", "--rc", "3", "--scale", "0.12",
+            "--csv", str(csv_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("dataset,method,")
+        assert "anybeat@0.2/rc3" in out
+        assert csv_path.exists()
