@@ -36,8 +36,13 @@ from repro.experiments.figures import (
 from repro.experiments.runner import (
     ExperimentConfig,
     MethodAggregate,
+    RunRecord,
+    aggregate_records,
+    clear_truth_cache,
     execute_cell,
+    execute_run,
     run_experiment,
+    truth_cache_stats,
 )
 from repro.experiments.sweeps import (
     SweepCellResult,
@@ -69,8 +74,13 @@ __all__ = [
     "map_cells",
     "ExperimentConfig",
     "MethodAggregate",
+    "RunRecord",
+    "aggregate_records",
+    "clear_truth_cache",
     "execute_cell",
+    "execute_run",
     "run_experiment",
+    "truth_cache_stats",
     "SweepGrid",
     "SweepCellResult",
     "run_sweep",

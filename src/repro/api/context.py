@@ -11,7 +11,9 @@ that plumbing into a single immutable value that travels with the work:
 * ``exact_paths`` — opt-in exact all-pairs shortest paths (the streaming
   histogram kernels make this feasible at 10^5-node scale),
 * ``jobs`` — worker-process count for the executor layer
-  (:mod:`repro.api.executors`).
+  (:mod:`repro.api.executors`),
+* ``granularity`` — the unit of parallel work: whole cells, single runs,
+  or ``"auto"`` (run-level when cells alone cannot fill the workers).
 
 Seed-spawning contract
 ----------------------
@@ -45,6 +47,7 @@ if TYPE_CHECKING:  # avoid a runtime cycle: runner imports spawn_seeds
     from repro.experiments.runner import ExperimentConfig
 
 _BACKENDS = ("auto", "python", "csr")
+_GRANULARITIES = ("auto", "cell", "run")
 _U64 = 0xFFFFFFFFFFFFFFFF
 
 
@@ -83,12 +86,24 @@ class RunContext:
     jobs:
         Worker processes for sweep execution; ``1`` runs serially in
         process.  Either way results arrive in deterministic cell order.
+    granularity:
+        The unit of work the executor schedules: ``"cell"`` ships whole
+        (dataset, fraction) cells to workers (each does its own
+        ``runs``-round loop), ``"run"`` flattens cells × runs into one
+        work queue so a single cell saturates all workers (the cell's
+        truth :class:`~repro.metrics.suite.PropertySet` is memoized per
+        worker process), and ``"auto"`` — the default — picks run
+        granularity exactly when there are fewer cells than workers (see
+        :meth:`resolve_granularity`).  Aggregation order is fixed by the
+        pre-spawned per-run seed list, so every granularity is
+        bit-identical to the serial loop on fixed seeds.
     """
 
     backend: str = "auto"
     seed: int = 1
     exact_paths: bool = False
     jobs: int = 1
+    granularity: str = "auto"
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKENDS:
@@ -97,6 +112,28 @@ class RunContext:
             )
         if self.jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {self.jobs}")
+        if self.granularity not in _GRANULARITIES:
+            raise ExperimentError(
+                f"unknown granularity {self.granularity!r}; "
+                f"expected one of {_GRANULARITIES}"
+            )
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def resolve_granularity(self, cells: int) -> str:
+        """The work-item unit for a workload of ``cells`` cells.
+
+        An explicit ``granularity`` always wins.  ``"auto"`` resolves to
+        ``"run"`` only when the cell count alone cannot occupy the
+        workers (``cells < jobs`` — the single-cell Table V shape);
+        otherwise cells stay the unit, which amortizes the truth
+        PropertySet and per-item overhead best.  With ``jobs=1`` auto is
+        always ``"cell"`` (fan-out buys nothing in process).
+        """
+        if self.granularity != "auto":
+            return self.granularity
+        return "run" if cells < self.jobs else "cell"
 
     # ------------------------------------------------------------------
     # seed spawning

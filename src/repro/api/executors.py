@@ -5,11 +5,12 @@ of its materialized config — so the execution strategy is a pluggable
 value.  Two implementations satisfy the :class:`Executor` protocol:
 
 * :class:`SerialExecutor` — an in-process loop; the reference semantics.
-* :class:`ProcessPoolExecutor` — ``jobs`` worker processes.  Cells carry
-  dataset *names*, and both the dataset registry and the CSR freeze cache
-  memoize per process — so each worker builds a dataset and its read-only
-  snapshot at most once, on first touch, and every later cell it executes
-  for that dataset reuses the same arrays.
+* :class:`ProcessPoolExecutor` — ``jobs`` worker processes.  Work-items
+  carry dataset *names*, and the dataset registry, the CSR freeze cache,
+  and the truth-PropertySet memo all memoize per process — so each worker
+  builds a dataset, its read-only snapshot, and its cell's exact
+  properties at most once, on first touch, and every later item it
+  executes for that dataset reuses them.
 
 Both stream results back **in deterministic cell order** (submission
 order), whatever order workers finish in — so CSV checkpointing and
@@ -21,13 +22,30 @@ runs are bit-identical on fixed seeds.
 from __future__ import annotations
 
 import concurrent.futures as _futures
+from collections import deque
 from collections.abc import Callable, Iterable, Iterator
+from itertools import islice
 from typing import Any, Protocol, TypeVar, runtime_checkable
 
 from repro.errors import ExperimentError
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+# Cap on *incomplete* in-flight submissions, as a multiple of the worker
+# count: enough queued work that no worker idles between items, without
+# pickling an entire flattened grid up front the way a bare pool.map
+# would — input is only pulled as earlier items complete.
+PREFETCH_FACTOR = 2
+
+# Cap on *total* unyielded submissions (running + queued + completed
+# results waiting their in-order turn), as a multiple of the worker
+# count.  Completed results release their PREFETCH_FACTOR slot so a slow
+# queue head cannot starve the workers behind it, but only up to this
+# bound — past it, refilling pauses until the head yields, keeping the
+# buffered-result memory and total pickled-ahead work O(jobs) even when
+# item 0 of a huge flattened grid is the slowest.
+MAX_UNYIELDED_FACTOR = 8
 
 
 @runtime_checkable
@@ -64,25 +82,64 @@ class ProcessPoolExecutor:
         self.jobs = jobs
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[R]:
-        """Submit every item, then yield results in submission order.
+        """Yield results in submission order, with paced submissions.
 
         ``fn`` and the items must be picklable (module-level function,
-        plain-data configs).  Yielding blocks on the earliest unfinished
-        future, so completed later cells wait their turn — that is what
-        keeps checkpoints and aggregation deterministic.  When a cell
-        raises (or the consumer abandons the iterator), the queued
-        not-yet-started cells are cancelled rather than left to run.
+        plain-data configs).  Two caps pace the input pulls: at most
+        ``jobs * PREFETCH_FACTOR`` *incomplete* submissions are in flight
+        (input is pulled and pickled only as earlier items actually
+        complete, so a large flattened grid is never serialized up
+        front), and completed results waiting for their in-order turn
+        release those slots — the refill loop runs while blocked on the
+        queue head, so one slow item cannot starve the workers behind it
+        — but only up to ``jobs * MAX_UNYIELDED_FACTOR`` total unyielded
+        submissions, which keeps buffered results bounded however slow
+        the head is.
+
+        Yielding blocks on the earliest unfinished future, so completed
+        later items wait their turn — that is what keeps checkpoints and
+        aggregation deterministic.  Failures propagate in submission
+        order (results before the failed item are still yielded), but
+        refilling stops as soon as a failed future is observed, and once
+        the failure surfaces the in-flight not-yet-started items are
+        cancelled — the rest of the input is never pulled.  Abandoning
+        the iterator cancels the same way.
         """
-        work = list(items)
-        if not work:
+        it = iter(items)
+        window = self.jobs * PREFETCH_FACTOR
+        max_unyielded = self.jobs * MAX_UNYIELDED_FACTOR
+        head = list(islice(it, window))
+        if not head:
             return
         with _futures.ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(work))
+            max_workers=min(self.jobs, len(head))
         ) as pool:
-            pending = [pool.submit(fn, item) for item in work]
+            pending = deque(pool.submit(fn, item) for item in head)
             try:
-                for future in pending:
-                    yield future.result()
+                while pending:
+                    incomplete = []
+                    failed = False
+                    for future in pending:
+                        if not future.done():
+                            incomplete.append(future)
+                        elif future.exception() is not None:
+                            failed = True
+                    refill = 0 if failed else min(
+                        window - len(incomplete),
+                        max_unyielded - len(pending),
+                    )
+                    for item in islice(it, max(refill, 0)):
+                        future = pool.submit(fn, item)
+                        pending.append(future)
+                        incomplete.append(future)
+                    if not pending[0].done():
+                        # head still running: park until *any* submission
+                        # completes, then loop to refill its slot
+                        _futures.wait(
+                            incomplete, return_when=_futures.FIRST_COMPLETED
+                        )
+                        continue
+                    yield pending.popleft().result()
             except BaseException:
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise

@@ -1,18 +1,42 @@
-"""The one place cells meet executors.
+"""The one place cells meet executors: the two-level scheduler.
 
 ``tables``, ``figures``, and ``sweeps`` all reduce to the same step: a
 list of materialized :class:`~repro.experiments.runner.ExperimentConfig`
 cells goes to the context's executor and aggregates stream back in cell
-order.  :func:`map_cells` is that step.
+order.  :func:`map_cells` is that step, at either scheduling granularity:
+
+* **cell** — each work-item is a whole cell
+  (:func:`~repro.experiments.runner.execute_cell`); the worker loops its
+  ``runs`` rounds in process.  Best when cells outnumber workers: the
+  truth PropertySet and all per-item overhead amortize over the cell.
+* **run** — cells × runs flatten into one deterministic work queue of
+  :func:`~repro.experiments.runner.execute_run` items, so even a single
+  cell (the Table V shape) saturates every worker.  Each worker process
+  evaluates a cell's truth PropertySet once (per-process memo) and the
+  records are regrouped per cell in pre-spawned seed order.
+
+``RunContext(granularity="auto")`` picks run granularity exactly when
+there are fewer cells than workers.  Either way results arrive lazily in
+cell order and the deterministic aggregates are bit-identical to the
+serial loop on fixed seeds — the order of float reductions never depends
+on who executed which item.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
+from dataclasses import replace
 from typing import TYPE_CHECKING
 
-from repro.api.executors import executor_for
-from repro.experiments.runner import ExperimentConfig, MethodAggregate, execute_cell
+from repro.api.executors import Executor, executor_for
+from repro.errors import ExperimentError
+from repro.experiments.runner import (
+    ExperimentConfig,
+    MethodAggregate,
+    aggregate_records,
+    execute_cell,
+    execute_run,
+)
 
 if TYPE_CHECKING:
     from repro.api.context import RunContext
@@ -24,9 +48,51 @@ def map_cells(
     """Run ``cells`` on the context's executor; yield aggregates in order.
 
     Cells carry dataset names, not graphs; each executor worker builds a
-    dataset and its read-only CSR snapshot once, on first touch (the
-    registry and freeze cache memoize per process).  Yields lazily, so
-    callers can checkpoint after each completed cell.
+    dataset, its read-only CSR snapshot, and its truth PropertySet once,
+    on first touch (the registry, freeze cache, and truth memo all
+    memoize per process).  Yields lazily, so callers can checkpoint after
+    each completed cell.
+
+    The context's resolved granularity decides the work-item unit (module
+    docstring); workers always receive a ``jobs=1`` context so a cell
+    executing inside a pool never opens a nested pool.
     """
     executor = executor_for(context)
-    return executor.map(execute_cell, [(config, context) for config in cells])
+    if context.resolve_granularity(len(cells)) == "run":
+        return _map_cells_by_run(cells, context, executor)
+    inner = replace(context, jobs=1) if context.jobs > 1 else context
+    return executor.map(execute_cell, [(config, inner) for config in cells])
+
+
+def _map_cells_by_run(
+    cells: Sequence[ExperimentConfig],
+    context: "RunContext",
+    executor: Executor,
+) -> Iterator[dict[str, MethodAggregate]]:
+    """Flatten cells × runs into one work queue; regroup per cell.
+
+    The queue order is (cell 0 run 0, cell 0 run 1, …, cell 1 run 0, …)
+    with run seeds pre-spawned from each cell's seed — the same sequence
+    the serial loop walks — and the executor yields in submission order,
+    so regrouping ``runs`` consecutive records per cell reproduces the
+    serial aggregation operand-for-operand.
+
+    The work-items carry ``None`` for the context slot: every cell is
+    already configured here, so there is nothing left for a worker-side
+    :meth:`~repro.api.context.RunContext.configure` to thread in.
+    """
+    from repro.api.context import spawn_seeds
+
+    configured = [context.configure(config) for config in cells]
+    for config in configured:
+        if config.runs < 1:
+            raise ExperimentError("need at least one run")
+    items = [
+        (config, run_seed, None)
+        for config in configured
+        for run_seed in spawn_seeds(config.seed, config.runs)
+    ]
+    results = executor.map(execute_run, items)
+    for config in configured:
+        records = [next(results) for _ in range(config.runs)]
+        yield aggregate_records(config, records)

@@ -16,11 +16,12 @@ Commands map one-to-one onto the paper's tables and figures::
 
 Execution is described once per invocation by a
 :class:`repro.api.RunContext` built from the shared flags ``--backend``,
-``--seed``, ``--jobs``, and ``--exact-paths`` — every experiment command
-threads that single context instead of re-plumbing per-subcommand
-``backend=`` / ``seed=`` keywords.  ``--jobs 2`` runs a table's datasets
-(or a sweep's cells) in a process pool with bit-identical results to the
-serial run.
+``--seed``, ``--jobs``, ``--granularity``, and ``--exact-paths`` — every
+experiment command threads that single context instead of re-plumbing
+per-subcommand ``backend=`` / ``seed=`` keywords.  ``--jobs 2`` runs a
+table's datasets (or a sweep's cells, or a single cell's runs when the
+granularity resolves to ``run``) in a process pool with bit-identical
+results to the serial run.
 
 Paper-scale settings (runs=10, rc=500, scale=1.0) reproduce the published
 protocol; the defaults here are the faster bench-scale settings recorded in
@@ -99,6 +100,14 @@ def _build_parser() -> argparse.ArgumentParser:
                 default=1,
                 help="worker processes for cell execution (results are "
                 "bit-identical to --jobs 1 on a fixed seed)",
+            )
+            p.add_argument(
+                "--granularity",
+                choices=("auto", "cell", "run"),
+                default="auto",
+                help="parallel work unit: whole cells, single runs, or "
+                "auto (run-level when there are fewer cells than jobs, "
+                "e.g. table5's single cell); any choice is bit-identical",
             )
         if execution and exact:
             p.add_argument(
@@ -201,6 +210,7 @@ def _context(args) -> RunContext:
         seed=getattr(args, "seed", 1),
         exact_paths=getattr(args, "exact_paths", False),
         jobs=getattr(args, "jobs", 1),
+        granularity=getattr(args, "granularity", "auto"),
     )
 
 

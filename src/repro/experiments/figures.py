@@ -14,7 +14,6 @@ are reassembled in deterministic order.
 from __future__ import annotations
 
 import os
-import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -26,6 +25,7 @@ from repro.experiments.methods import (
 from repro.experiments.runner import ExperimentConfig
 from repro.graph.datasets import FIGURE3_DATASETS, load_dataset
 from repro.metrics.suite import EvaluationConfig
+from repro.utils.deprecation import warn_deprecated
 from repro.utils.rng import ensure_rng
 from repro.viz.layout import fruchterman_reingold_layout
 from repro.viz.svg import save_svg
@@ -54,11 +54,9 @@ class Figure3Settings:
 
     def __post_init__(self) -> None:
         if self.backend is not None:
-            warnings.warn(
+            warn_deprecated(
                 "Figure3Settings(backend=...) is deprecated; pass "
-                "RunContext(backend=...) as figure3_series' context",
-                DeprecationWarning,
-                stacklevel=3,
+                "RunContext(backend=...) as figure3_series' context"
             )
 
 

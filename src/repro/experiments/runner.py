@@ -11,10 +11,20 @@ cell seed (:func:`repro.api.context.spawn_seeds`), so a cell's outcome is
 a pure function of its :class:`ExperimentConfig` — rounds never share a
 generator stream.  That is the property the executor layer
 (:mod:`repro.api.executors`) relies on for serial↔parallel bit-identity.
+
+A cell decomposes into picklable *run* work-items: :func:`execute_run`
+performs one round (one ``run_methods_once`` + property evaluation) and
+returns a :class:`RunRecord`; :func:`aggregate_records` folds the records
+back into the cell's :class:`MethodAggregate` map in pre-spawned seed
+order.  The cell's truth :class:`~repro.metrics.suite.PropertySet` is
+memoized per process on ``(dataset, scale, evaluation)`` — alongside the
+dataset and CSR-freeze caches — so a worker executing several runs (or
+several fractions) of one dataset computes the 12 exact properties once.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
@@ -24,6 +34,7 @@ from repro.graph.multigraph import MultiGraph
 from repro.metrics.suite import (
     PROPERTY_NAMES,
     EvaluationConfig,
+    PropertySet,
     compute_properties,
     l1_distances,
 )
@@ -86,6 +97,90 @@ class MethodAggregate:
         return [self.per_property[name] for name in PROPERTY_NAMES]
 
 
+@dataclass(frozen=True)
+class RunRecord:
+    """One run's per-method outcome: the picklable run-granularity unit.
+
+    ``distances`` maps ``method -> {property: L1}``; the timing maps hold
+    that run's generation wall-clocks.  A cell is ``runs`` of these in
+    pre-spawned seed order (:func:`aggregate_records`).
+    """
+
+    distances: dict[str, dict[str, float]]
+    total_seconds: dict[str, float]
+    rewiring_seconds: dict[str, float]
+
+
+# Per-process truth memo: the 12 exact properties of an original graph
+# depend only on (dataset, scale, evaluation) — not on the crawl fraction
+# or the run seed — so every run (and every fraction) of a dataset a
+# worker process executes shares one PropertySet.  Lives alongside the
+# dataset registry and CSR freeze caches, which memoize per process the
+# same way.
+_TRUTH_MEMO: dict[tuple[str, float, EvaluationConfig], PropertySet] = {}
+_TRUTH_STATS = {"hits": 0, "misses": 0}
+
+
+def cell_truth(config: ExperimentConfig, graph: MultiGraph) -> PropertySet:
+    """The cell's truth PropertySet, memoized per process.
+
+    ``graph`` must be the dataset the config names (the caller already
+    has it loaded); the memo key deliberately omits fraction/seed/rc so
+    all runs and fractions over one (dataset, scale, evaluation) triple
+    share the single exact evaluation.
+    """
+    evaluation = config.evaluation_config()
+    key = (config.dataset, config.scale, evaluation)
+    cached = _TRUTH_MEMO.get(key)
+    if cached is not None:
+        _TRUTH_STATS["hits"] += 1
+        return cached
+    _TRUTH_STATS["misses"] += 1
+    truth = compute_properties(graph, evaluation)
+    _TRUTH_MEMO[key] = truth
+    return truth
+
+
+def truth_cache_stats() -> dict[str, int]:
+    """This process's truth-memo hit/miss counters (tests read these)."""
+    return dict(_TRUTH_STATS)
+
+
+def clear_truth_cache() -> None:
+    """Drop memoized truth PropertySets and zero the counters."""
+    _TRUTH_MEMO.clear()
+    _TRUTH_STATS["hits"] = 0
+    _TRUTH_STATS["misses"] = 0
+
+
+def _run_once(
+    graph: MultiGraph,
+    truth: PropertySet,
+    config: ExperimentConfig,
+    run_seed: int,
+) -> RunRecord:
+    """One fair-comparison round of the cell: the run work-item body."""
+    evaluation = config.evaluation_config()
+    outputs = run_methods_once(
+        graph,
+        config.fraction,
+        methods=config.methods,
+        rc=config.rc,
+        rng=ensure_rng(run_seed),
+        max_rewiring_attempts=config.max_rewiring_attempts,
+        backend=config.backend or "auto",
+    )
+    distances: dict[str, dict[str, float]] = {}
+    total: dict[str, float] = {}
+    rewiring: dict[str, float] = {}
+    for method, output in outputs.items():
+        generated = compute_properties(output.graph, evaluation)
+        distances[method] = l1_distances(truth, generated)
+        total[method] = output.total_seconds
+        rewiring[method] = output.rewiring_seconds
+    return RunRecord(distances, total, rewiring)
+
+
 def run_experiment(
     config: ExperimentConfig,
     original: MultiGraph | None = None,
@@ -99,6 +194,15 @@ def run_experiment(
     ``config.backend`` and ``exact_paths`` upgrades the evaluation.  The
     per-run seeds are always spawned from ``config.seed``, so the result
     is deterministic for a fixed config regardless of who executes it.
+
+    With ``context.jobs > 1`` (and ``granularity`` resolving to ``"run"``
+    for this single cell — the ``"auto"`` default does) the ``runs``
+    rounds fan out over the context's process pool as independent
+    :func:`execute_run` work-items; each worker evaluates the cell's
+    truth PropertySet once (per-process memo) and the records are folded
+    in pre-spawned seed order, so the aggregates are bit-identical to the
+    serial loop.  An injected ``original`` graph stays in process — only
+    named datasets are cheap to rebuild worker-side.
     """
     from repro.api.context import spawn_seeds
 
@@ -106,36 +210,28 @@ def run_experiment(
         raise ExperimentError("need at least one run")
     if context is not None:
         config = context.configure(config)
-    graph = original if original is not None else load_dataset(
-        config.dataset, scale=config.scale
-    )
-    evaluation = config.evaluation_config()
-    truth = compute_properties(graph, evaluation)
 
-    distances: dict[str, list[dict[str, float]]] = {m: [] for m in config.methods}
-    times: dict[str, list[float]] = {m: [] for m in config.methods}
-    rewire_times: dict[str, list[float]] = {m: [] for m in config.methods}
+    if (
+        original is None
+        and context is not None
+        and context.jobs > 1
+        and context.resolve_granularity(1) == "run"
+    ):
+        # one scheduler: the same run-level queue a sweep would build
+        from repro.api.run import map_cells
 
-    for run_seed in spawn_seeds(config.seed, config.runs):
-        outputs = run_methods_once(
-            graph,
-            config.fraction,
-            methods=config.methods,
-            rc=config.rc,
-            rng=ensure_rng(run_seed),
-            max_rewiring_attempts=config.max_rewiring_attempts,
-            backend=config.backend or "auto",
-        )
-        for method, output in outputs.items():
-            generated = compute_properties(output.graph, evaluation)
-            distances[method].append(l1_distances(truth, generated))
-            times[method].append(output.total_seconds)
-            rewire_times[method].append(output.rewiring_seconds)
+        return next(iter(map_cells([config], context)))
 
-    return {
-        method: _aggregate(method, distances[method], times[method], rewire_times[method])
-        for method in config.methods
-    }
+    run_seeds = spawn_seeds(config.seed, config.runs)
+    if original is None:
+        # same code path as a worker: dataset registry + truth memo
+        records = [execute_run((config, seed, None)) for seed in run_seeds]
+    else:
+        truth = compute_properties(original, config.evaluation_config())
+        records = [
+            _run_once(original, truth, config, seed) for seed in run_seeds
+        ]
+    return aggregate_records(config, records)
 
 
 def execute_cell(
@@ -146,10 +242,55 @@ def execute_cell(
     Takes the (config, context) pair as one picklable payload — this is
     the function the process-pool workers receive, so it must stay
     module-level.  The serial executor calls it too, keeping one code
-    path.
+    path.  The scheduler hands workers a ``jobs=1`` context so a cell
+    executing inside a pool never opens a nested pool.
     """
     config, context = payload
     return run_experiment(config, context=context)
+
+
+def execute_run(
+    payload: tuple[ExperimentConfig, int, "RunContext | None"],
+) -> RunRecord:
+    """Executor-side run entry point: one round of one cell.
+
+    The ``(config, run_seed, context)`` triple is one picklable payload
+    (module-level for the process pool, same as :func:`execute_cell`);
+    ``context`` may be ``None`` when the config is already configured —
+    the run-level scheduler always pre-configures, so it ships ``None``.
+    The dataset comes from the per-process registry and the truth
+    PropertySet from the per-process memo, so a worker pays the exact
+    evaluation once per (dataset, scale, evaluation) however many runs it
+    executes.
+    """
+    config, run_seed, context = payload
+    if context is not None:
+        config = context.configure(config)
+    graph = load_dataset(config.dataset, scale=config.scale)
+    truth = cell_truth(config, graph)
+    return _run_once(graph, truth, config, run_seed)
+
+
+def aggregate_records(
+    config: ExperimentConfig, records: "list[RunRecord]"
+) -> dict[str, MethodAggregate]:
+    """Fold per-run records (in seed order) into per-method aggregates.
+
+    This is the single aggregation point for every granularity: the
+    serial loop, cell-shipped workers, and the run-level scheduler all
+    produce records in the pre-spawned seed order, so the float
+    reductions here see identical operand sequences — the bit-identity
+    contract.
+    """
+    return {
+        method: _aggregate(
+            method,
+            [record.distances[method] for record in records],
+            [record.total_seconds[method] for record in records],
+            [record.rewiring_seconds[method] for record in records],
+        )
+        for method in config.methods
+    }
 
 
 def _aggregate(
@@ -161,7 +302,9 @@ def _aggregate(
     per_property = {
         name: mean(d[name] for d in run_distances) for name in PROPERTY_NAMES
     }
-    finite = [v for v in per_property.values() if v != float("inf")]
+    # isfinite, not != inf: a NaN distance (0/0 on a degenerate graph) or
+    # a -inf must not poison the headline avg ± sd either
+    finite = [v for v in per_property.values() if math.isfinite(v)]
     avg = mean(finite) if finite else float("inf")
     sd = pstdev(finite) if finite else float("inf")
     return MethodAggregate(

@@ -18,12 +18,12 @@ and a ``jobs=2`` sweep is bit-identical to ``jobs=1`` on fixed seeds
 from __future__ import annotations
 
 import os
-import warnings
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.errors import ExperimentError
+from repro.utils.deprecation import warn_deprecated
 from repro.experiments.methods import METHOD_NAMES
 from repro.experiments.report import results_to_csv
 from repro.experiments.runner import (
@@ -58,11 +58,9 @@ class SweepGrid:
 
     def __post_init__(self) -> None:
         if self.backend is not None:
-            warnings.warn(
+            warn_deprecated(
                 "SweepGrid(backend=...) is deprecated; pass "
-                "RunContext(backend=...) to run_sweep instead",
-                DeprecationWarning,
-                stacklevel=3,
+                "RunContext(backend=...) to run_sweep instead"
             )
 
     def cells(

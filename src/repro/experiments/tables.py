@@ -12,7 +12,6 @@ datasets of a table concurrently), and rows come back in dataset order.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -23,6 +22,7 @@ from repro.experiments.runner import (
 )
 from repro.graph.datasets import TABLE2_DATASETS, TABLE34_DATASETS, YOUTUBE_DATASET
 from repro.metrics.suite import PROPERTY_LABELS, PROPERTY_NAMES, EvaluationConfig
+from repro.utils.deprecation import warn_deprecated
 
 if TYPE_CHECKING:
     from repro.api.context import RunContext
@@ -53,11 +53,9 @@ class TableSettings:
 
     def __post_init__(self) -> None:
         if self.backend is not None:
-            warnings.warn(
+            warn_deprecated(
                 "TableSettings(backend=...) is deprecated; pass "
-                "RunContext(backend=...) as the table function's context",
-                DeprecationWarning,
-                stacklevel=3,
+                "RunContext(backend=...) as the table function's context"
             )
 
 

@@ -1,0 +1,47 @@
+"""Deprecation warnings that point at the caller's actual source line.
+
+The ``backend=`` shims live in ``__post_init__`` of frozen dataclasses,
+so a fixed ``stacklevel`` cannot be right: the frame between the shim and
+the user is the dataclass-generated ``__init__`` (compiled from a
+``"<string>"`` pseudo-file), and :func:`dataclasses.replace` inserts a
+``dataclasses.py`` frame on top of that — a constant offset attributes
+the warning to machinery for one construction path or the other.
+:func:`warn_deprecated` walks the stack past those frames and computes
+the stacklevel that lands on the first real caller, so ``python
+-W error::DeprecationWarning`` and warning filters by module both point
+at the construction site.
+"""
+
+from __future__ import annotations
+
+import dataclasses as _dataclasses
+import sys
+import warnings
+
+# Frames that are plumbing, not the caller: the stdlib dataclasses module
+# (dataclasses.replace) and code compiled from a pseudo-filename such as
+# "<string>" — which is where dataclass-generated __init__ bodies live.
+_MACHINERY_FILES = (_dataclasses.__file__,)
+
+
+def _is_machinery(filename: str) -> bool:
+    return filename in _MACHINERY_FILES or filename == "<string>"
+
+
+def warn_deprecated(message: str) -> None:
+    """Emit ``DeprecationWarning`` attributed to the real caller.
+
+    "Real caller" is the first frame above our immediate caller (the
+    shim) that is neither stdlib ``dataclasses`` nor generated-``__init__``
+    code.  On a stack too shallow to inspect, ``warnings`` clamps the
+    level to the outermost frame, which is then also the caller.
+    """
+    level = 2  # our caller's caller: the first candidate frame
+    try:
+        frame = sys._getframe(level)
+    except ValueError:
+        frame = None
+    while frame is not None and _is_machinery(frame.f_code.co_filename):
+        level += 1
+        frame = frame.f_back
+    warnings.warn(message, DeprecationWarning, stacklevel=level + 1)

@@ -3,6 +3,7 @@ serial↔parallel equivalence contract of the rewired experiment modules."""
 
 from __future__ import annotations
 
+import dataclasses
 import time
 
 import pytest
@@ -11,13 +12,17 @@ from repro.api import (
     ProcessPoolExecutor,
     RunContext,
     SerialExecutor,
+    clear_truth_cache,
     executor_for,
     run_sweep,
     spawn_seeds,
     sweep_to_csv,
+    truth_cache_stats,
 )
+from repro.api.executors import MAX_UNYIELDED_FACTOR, PREFETCH_FACTOR
 from repro.errors import ExperimentError
 from repro.experiments.figures import Figure3Settings
+from repro.experiments.report import results_to_csv
 from repro.experiments.runner import ExperimentConfig, run_experiment
 from repro.experiments.sweeps import SweepGrid
 from repro.experiments.tables import TableSettings, format_table2, table2_rows
@@ -38,6 +43,21 @@ class TestRunContext:
             RunContext(backend="gpu")
         with pytest.raises(ExperimentError):
             RunContext(jobs=0)
+        with pytest.raises(ExperimentError):
+            RunContext(granularity="walk")
+
+    def test_granularity_auto_rule(self):
+        # run-level exactly when cells alone cannot fill the workers
+        ctx = RunContext(jobs=4)
+        assert ctx.resolve_granularity(1) == "run"
+        assert ctx.resolve_granularity(3) == "run"
+        assert ctx.resolve_granularity(4) == "cell"
+        assert ctx.resolve_granularity(10) == "cell"
+        # jobs=1: fan-out buys nothing in process
+        assert RunContext(jobs=1).resolve_granularity(1) == "cell"
+        # explicit choices always win
+        assert RunContext(jobs=4, granularity="cell").resolve_granularity(1) == "cell"
+        assert RunContext(jobs=1, granularity="run").resolve_granularity(9) == "run"
 
     def test_seed_spawning_deterministic(self):
         a = RunContext(seed=9)
@@ -89,6 +109,70 @@ def _explode(x: int) -> int:
     return x
 
 
+def _slow_head(x: int) -> int:
+    """Item 0 far outlasts the rest: the head-of-line starvation shape."""
+    time.sleep(0.75 if x == 0 else 0.01)
+    return x
+
+
+class _CountingIterable:
+    """Iterator that records how many items the executor has pulled."""
+
+    def __init__(self, n: int) -> None:
+        self.pulled = 0
+        self._it = iter(range(n))
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        value = next(self._it)
+        self.pulled += 1
+        return value
+
+
+class _InstantFuture:
+    """Future that completed the moment it was submitted."""
+
+    def __init__(self, value=None, error=None):
+        self._value = value
+        self._error = error
+
+    def done(self):
+        return True
+
+    def exception(self):
+        return self._error
+
+    def result(self):
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class _InstantPool:
+    """In-process stand-in whose futures complete at submit time — makes
+    the executor's input-pull pacing deterministic (no worker timing)."""
+
+    def __init__(self, max_workers):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def submit(self, fn, item):
+        try:
+            return _InstantFuture(fn(item))
+        except BaseException as error:  # noqa: BLE001 — futures capture all
+            return _InstantFuture(error=error)
+
+    def shutdown(self, **kwargs):
+        pass
+
+
 class TestExecutors:
     def test_serial_streams_in_order(self):
         out = list(SerialExecutor().map(_slow_square, [1, 2, 3]))
@@ -114,6 +198,83 @@ class TestExecutors:
     def test_pool_propagates_cell_error(self):
         with pytest.raises(ValueError, match="boom"):
             list(ProcessPoolExecutor(2).map(_explode, [0, 1, 2, 3]))
+
+    def test_pool_pulls_input_paced_by_completions(self, monkeypatch):
+        """Input is pulled (and pickled) only as earlier items complete —
+        never the whole grid up front.  The instant-completion fake pool
+        makes the pacing deterministic: each wake of the generator
+        refills at most one window."""
+        import repro.api.executors as executors_module
+
+        monkeypatch.setattr(
+            executors_module._futures, "ProcessPoolExecutor", _InstantPool
+        )
+        items = _CountingIterable(20)
+        window = 2 * PREFETCH_FACTOR
+        out = []
+        for consumed, result in enumerate(
+            ProcessPoolExecutor(2).map(lambda x: x * x, items)
+        ):
+            # head window + one refill window per completed-head wake
+            assert items.pulled <= min(window * (consumed + 2), 20)
+            out.append(result)
+        assert out == [x * x for x in range(20)]
+        assert items.pulled == 20
+
+    def test_pool_observed_failure_stops_refilling(self, monkeypatch):
+        """A failure *behind* still-pending earlier items stops input
+        pulls the moment it is observed, while earlier results still
+        yield and the error still surfaces in submission order."""
+        import repro.api.executors as executors_module
+
+        monkeypatch.setattr(
+            executors_module._futures, "ProcessPoolExecutor", _InstantPool
+        )
+        items = _CountingIterable(100)
+        window = 2 * PREFETCH_FACTOR
+
+        def fn(x):
+            if x == 2:
+                raise ValueError("boom")
+            return x
+
+        gen = ProcessPoolExecutor(2).map(fn, items)
+        assert next(gen) == 0
+        assert next(gen) == 1
+        with pytest.raises(ValueError, match="boom"):
+            next(gen)
+        # item 2 failed inside the head window; nothing past it was pulled
+        assert items.pulled == window
+
+    def test_pool_slow_head_does_not_starve_workers(self):
+        """Completed-but-unyielded results release their submission
+        slots: while the queue head is still running, the refill loop
+        keeps feeding the other workers past the initial window."""
+        items = _CountingIterable(12)
+        out = list(ProcessPoolExecutor(2).map(_slow_head, items))
+        assert out == list(range(12))
+        assert items.pulled == 12
+
+    def test_pool_slow_head_refills_before_first_yield(self):
+        items = _CountingIterable(50)
+        gen = ProcessPoolExecutor(2).map(_slow_head, items)
+        assert next(gen) == 0  # the slow head itself
+        # the old code froze at the initial window until the head
+        # yielded; the refill loop must have pulled past it by now —
+        # but never past the total-unyielded cap, however slow the head
+        assert items.pulled > 2 * PREFETCH_FACTOR
+        assert items.pulled <= 2 * MAX_UNYIELDED_FACTOR
+        assert list(gen) == list(range(1, 50))
+
+    def test_pool_failure_stops_pulling_input(self):
+        """Cancel-on-failure also means the rest of a lazy input is never
+        submitted once an item has raised."""
+        items = _CountingIterable(1000)
+        with pytest.raises(ValueError, match="boom"):
+            list(ProcessPoolExecutor(2).map(_explode, items))
+        # nothing was yielded before item 0's failure surfaced, so the
+        # total-unyielded cap is a hard bound on how much input was pulled
+        assert items.pulled <= 2 * MAX_UNYIELDED_FACTOR
 
 
 class TestSweepGridBackendThreading:
@@ -195,6 +356,128 @@ class TestSerialParallelEquivalence:
         )
 
 
+class TestRunGranularity:
+    """Run-level fan-out inside a cell: the two-level scheduler's second
+    level must be bit-identical to the serial loop (and to cell-level
+    shipping) because aggregation order is fixed by the pre-spawned run
+    seed list, not by worker timing."""
+
+    CONFIG = ExperimentConfig(
+        dataset="anybeat",
+        fraction=0.1,
+        runs=3,
+        methods=("rw", "proposed"),
+        rc=3.0,
+        scale=0.12,
+        evaluation=FAST_EVAL,
+    )
+
+    def test_single_cell_jobs2_run_granularity_byte_identical_csv(self):
+        serial = run_experiment(self.CONFIG, context=RunContext(seed=5))
+        parallel = run_experiment(
+            self.CONFIG, context=RunContext(seed=5, jobs=2, granularity="run")
+        )
+        assert results_to_csv(
+            {"anybeat": serial}, include_timings=False
+        ) == results_to_csv({"anybeat": parallel}, include_timings=False)
+        # and the underlying floats are exactly equal, not just printed alike
+        for method in serial:
+            assert serial[method].per_property == parallel[method].per_property
+            assert serial[method].average_l1 == parallel[method].average_l1
+            assert serial[method].std_l1 == parallel[method].std_l1
+
+    def test_auto_resolves_single_cell_to_run_granularity(self):
+        # auto on a single cell behaves exactly like explicit "run"
+        auto = run_experiment(self.CONFIG, context=RunContext(seed=5, jobs=2))
+        explicit = run_experiment(
+            self.CONFIG, context=RunContext(seed=5, jobs=2, granularity="run")
+        )
+        assert results_to_csv(
+            {"anybeat": auto}, include_timings=False
+        ) == results_to_csv({"anybeat": explicit}, include_timings=False)
+
+    def test_mixed_granularity_multi_cell_sweep(self, tmp_path):
+        grid = SweepGrid(
+            datasets=("anybeat",),
+            fractions=(0.1, 0.2),
+            rcs=(3.0,),
+            runs=2,
+            methods=("rw", "proposed"),
+            scale=0.12,
+            evaluation=FAST_EVAL,
+        )
+        serial = sweep_to_csv(
+            run_sweep(grid, context=RunContext(seed=5)), include_timings=False
+        )
+        by_cell = sweep_to_csv(
+            run_sweep(grid, context=RunContext(seed=5, jobs=2, granularity="cell")),
+            include_timings=False,
+        )
+        by_run_csv = tmp_path / "by_run.csv"
+        by_run = sweep_to_csv(
+            run_sweep(
+                grid,
+                csv_path=by_run_csv,
+                context=RunContext(seed=5, jobs=2, granularity="run"),
+            ),
+            include_timings=False,
+        )
+        assert serial == by_cell == by_run
+        # run-granularity checkpointing still streams per completed cell
+        assert by_run_csv.read_text().startswith("dataset,method,")
+
+    def test_injected_graph_stays_serial(self, social_graph):
+        # an original= graph cannot be rebuilt worker-side by name; the
+        # fan-out must quietly fall back to the in-process loop
+        config = dataclasses.replace(self.CONFIG, dataset="ignored", fraction=0.25)
+        serial = run_experiment(config, original=social_graph,
+                                context=RunContext(seed=5))
+        parallel = run_experiment(config, original=social_graph,
+                                  context=RunContext(seed=5, jobs=2))
+        for method in serial:
+            assert serial[method].per_property == parallel[method].per_property
+
+
+class TestTruthMemo:
+    """The cell's truth PropertySet is computed once per (dataset, scale,
+    evaluation) per process, however many runs or fractions execute."""
+
+    def _config(self, fraction=0.1, runs=3):
+        return ExperimentConfig(
+            dataset="anybeat",
+            fraction=fraction,
+            runs=runs,
+            methods=("rw",),
+            rc=3.0,
+            scale=0.12,
+            evaluation=FAST_EVAL,
+        )
+
+    def test_one_miss_then_hits_within_a_cell(self):
+        clear_truth_cache()
+        run_experiment(self._config(runs=3), context=RunContext(seed=5))
+        stats = truth_cache_stats()
+        assert stats == {"misses": 1, "hits": 2}
+
+    def test_second_fraction_reuses_truth(self):
+        clear_truth_cache()
+        run_experiment(self._config(fraction=0.1, runs=2), context=RunContext(seed=5))
+        run_experiment(self._config(fraction=0.2, runs=2), context=RunContext(seed=5))
+        # truth depends on (dataset, scale, evaluation) only — not fraction
+        stats = truth_cache_stats()
+        assert stats == {"misses": 1, "hits": 3}
+
+    def test_distinct_evaluation_distinct_truth(self):
+        clear_truth_cache()
+        run_experiment(self._config(runs=1), context=RunContext(seed=5))
+        other = dataclasses.replace(
+            self._config(runs=1),
+            evaluation=dataclasses.replace(FAST_EVAL, path_sources=16),
+        )
+        run_experiment(other, context=RunContext(seed=5))
+        assert truth_cache_stats()["misses"] == 2
+
+
 class TestDeprecationShims:
     def test_table_settings_backend_warns_and_forwards(self):
         with pytest.warns(DeprecationWarning, match="RunContext"):
@@ -225,6 +508,27 @@ class TestDeprecationShims:
         Figure3Settings()
         SweepGrid(datasets=("anybeat",))
         assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_warning_points_at_construction_site(self):
+        """The stacklevel must land on the caller's source line, not the
+        dataclass-generated ``__init__`` (``"<string>"``) it passes
+        through — for every shimmed settings class."""
+        for construct in (
+            lambda: SweepGrid(datasets=("anybeat",), backend="csr"),
+            lambda: TableSettings(backend="csr"),
+            lambda: Figure3Settings(backend="csr"),
+        ):
+            with pytest.warns(DeprecationWarning) as caught:
+                construct()
+            assert caught[0].filename == __file__
+
+    def test_warning_points_through_dataclasses_replace(self):
+        """``dataclasses.replace`` adds a stdlib frame on top of the
+        generated ``__init__``; the warning must still skip past it."""
+        grid = SweepGrid(datasets=("anybeat",))
+        with pytest.warns(DeprecationWarning) as caught:
+            dataclasses.replace(grid, backend="csr")
+        assert caught[0].filename == __file__
 
 
 class TestRunExperimentContext:

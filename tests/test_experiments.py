@@ -25,7 +25,7 @@ from repro.experiments.methods import (
     SUBGRAPH_METHODS,
     run_methods_once,
 )
-from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.runner import ExperimentConfig, _aggregate, run_experiment
 from repro.experiments.tables import (
     TableSettings,
     format_table2,
@@ -115,6 +115,45 @@ class TestRunner:
         )
         aggregates = run_experiment(config)
         assert "rw" in aggregates
+
+
+class TestAggregateFiniteness:
+    """Regression: non-finite per-property distances must not poison the
+    headline avg ± sd (the old filter only dropped +inf, so a NaN — e.g.
+    0/0 on a degenerate normalization — propagated into both)."""
+
+    @staticmethod
+    def _distances(overrides):
+        base = {name: 0.25 for name in PROPERTY_NAMES}
+        base.update(overrides)
+        return [base]
+
+    def test_nan_distance_excluded_from_avg_sd(self):
+        agg = _aggregate(
+            "rw",
+            self._distances({"diameter": float("nan")}),
+            [1.0],
+            [0.0],
+        )
+        assert agg.per_property["diameter"] != agg.per_property["diameter"]
+        assert agg.average_l1 == pytest.approx(0.25)
+        assert agg.std_l1 == pytest.approx(0.0)
+
+    def test_negative_infinity_excluded_too(self):
+        agg = _aggregate(
+            "rw",
+            self._distances({"diameter": float("-inf"), "clustering": float("inf")}),
+            [1.0],
+            [0.0],
+        )
+        assert agg.average_l1 == pytest.approx(0.25)
+        assert agg.std_l1 == pytest.approx(0.0)
+
+    def test_all_nonfinite_degrades_to_inf(self):
+        distances = [{name: float("nan") for name in PROPERTY_NAMES}]
+        agg = _aggregate("rw", distances, [1.0], [0.0])
+        assert agg.average_l1 == float("inf")
+        assert agg.std_l1 == float("inf")
 
 
 class TestTables:
