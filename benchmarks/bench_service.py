@@ -1,0 +1,187 @@
+"""Load bench for the serving layer: coalescing + bit-identity under fan-in.
+
+Starts an in-process :class:`~repro.service.ReproService` and drives it
+with ``BENCH_SERVICE_CLIENTS`` (>= 8) concurrent asyncio clients in two
+phases:
+
+* **Phase A — coalesced burst.** Every client fires the *same* evaluate
+  request at once.  Assertions: all responses are equal, the
+  deterministic aggregates are byte-identical (canonical JSON) to a
+  direct in-process ``run_experiment`` on the same normalized request,
+  and the server's coalescing ratio is > 1.0 (the burst shared one
+  computation instead of paying N).
+* **Phase B — steady-state throughput.** Each client loops
+  ``BENCH_SERVICE_REQUESTS`` evaluate requests against the now-warm
+  response cache, timing each round trip client-side.  Recorded: p50/p99
+  latency and requests/sec — the cost of the serving layer itself
+  (framing, event loop, cache lookup), since the compute is cached.
+
+Results land in ``benchmarks/results/bench_service.json``.
+
+Knobs (environment):
+
+    BENCH_SERVICE_CLIENTS     concurrent connections   (default 8)
+    BENCH_SERVICE_REQUESTS    phase-B loops per client (default 25)
+    BENCH_SERVICE_SCALE       dataset scale            (default 0.12)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+from conftest import write_json
+
+from repro.experiments.runner import clear_truth_cache, run_experiment
+from repro.graph.datasets import clear_dataset_cache
+from repro.service import (
+    AsyncServiceClient,
+    ReproService,
+    aggregates_to_payload,
+    canonical_json,
+    normalize_request,
+    quantile,
+)
+from repro.service.handlers import evaluate_config
+
+CLIENTS = int(os.environ.get("BENCH_SERVICE_CLIENTS", "8"))
+REQUESTS = int(os.environ.get("BENCH_SERVICE_REQUESTS", "25"))
+SCALE = float(os.environ.get("BENCH_SERVICE_SCALE", "0.12"))
+
+EVAL_PARAMS = {
+    "dataset": "anybeat",
+    "fraction": 0.1,
+    "runs": 1,
+    "methods": ["rw"],
+    "rc": 5,
+    "scale": SCALE,
+    "seed": 7,
+    "exact_threshold": 200,
+    "path_sources": 48,
+    "betweenness_pivots": 24,
+}
+
+
+async def _phase_a(service: ReproService) -> dict:
+    """The coalesced burst: CLIENTS identical in-flight requests."""
+    clients = [
+        await AsyncServiceClient.connect(service.host, service.port)
+        for _ in range(CLIENTS)
+    ]
+    try:
+        start = time.perf_counter()
+        results = await asyncio.gather(
+            *(c.request("evaluate", EVAL_PARAMS) for c in clients)
+        )
+        elapsed = time.perf_counter() - start
+        stats = await clients[0].request("stats")
+    finally:
+        for c in clients:
+            await c.close()
+    return {"results": results, "elapsed": elapsed, "stats": stats}
+
+
+async def _phase_b(service: ReproService) -> dict:
+    """Steady-state: per-client request loops against the warm cache."""
+    clients = [
+        await AsyncServiceClient.connect(service.host, service.port)
+        for _ in range(CLIENTS)
+    ]
+    latencies: list[float] = []
+
+    async def loop(client: AsyncServiceClient) -> None:
+        for _ in range(REQUESTS):
+            t0 = time.perf_counter()
+            await client.request("evaluate", EVAL_PARAMS)
+            latencies.append(time.perf_counter() - t0)
+
+    try:
+        start = time.perf_counter()
+        await asyncio.gather(*(loop(c) for c in clients))
+        elapsed = time.perf_counter() - start
+    finally:
+        for c in clients:
+            await c.close()
+    return {"latencies": latencies, "elapsed": elapsed}
+
+
+async def _drive() -> dict:
+    service = ReproService(jobs=1, cache_entries=64, progress_interval=5.0)
+    await service.start()
+    try:
+        burst = await _phase_a(service)
+        steady = await _phase_b(service)
+        final_stats = None
+        client = await AsyncServiceClient.connect(service.host, service.port)
+        try:
+            final_stats = await client.request("stats")
+        finally:
+            await client.close()
+    finally:
+        await service.drain()
+    return {"burst": burst, "steady": steady, "final_stats": final_stats}
+
+
+def test_bench_service(results_dir):
+    assert CLIENTS >= 8, "the service bench is defined at >= 8 clients"
+    clear_dataset_cache()
+    clear_truth_cache()
+    outcome = asyncio.run(_drive())
+
+    # --- bit-identity: service response vs direct library call --------
+    results = outcome["burst"]["results"]
+    first = canonical_json(results[0])
+    assert all(canonical_json(r) == first for r in results[1:])
+    direct = run_experiment(
+        evaluate_config(normalize_request("evaluate", EVAL_PARAMS))
+    )
+    direct_payload = aggregates_to_payload(direct, include_timings=False)
+    bit_identical = canonical_json(results[0]["aggregates"]) == canonical_json(
+        direct_payload
+    )
+    assert bit_identical, "service aggregates diverge from run_experiment"
+
+    # --- coalescing: the identical burst shared its computation -------
+    burst_stats = outcome["burst"]["stats"]
+    ratio = burst_stats["coalescing_ratio"]
+    assert ratio > 1.0, burst_stats
+
+    # --- steady-state latency / throughput ----------------------------
+    latencies = outcome["steady"]["latencies"]
+    total = len(latencies)
+    p50_ms = quantile(latencies, 0.50) * 1000.0
+    p99_ms = quantile(latencies, 0.99) * 1000.0
+    requests_per_second = total / outcome["steady"]["elapsed"]
+
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+    final = outcome["final_stats"]
+    payload = {
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS,
+        "cpus": cpus,
+        "jobs": final["jobs"],
+        "executor": final["executor"],
+        "request": {"op": "evaluate", "params": EVAL_PARAMS},
+        "bit_identical": bit_identical,
+        "burst": {
+            "elapsed_seconds": outcome["burst"]["elapsed"],
+            "computations": burst_stats["computations"],
+            "coalesced": burst_stats["coalesced"],
+            "coalescing_ratio": ratio,
+        },
+        "steady": {
+            "requests": total,
+            "elapsed_seconds": outcome["steady"]["elapsed"],
+            "requests_per_second": requests_per_second,
+            "p50_ms": p50_ms,
+            "p99_ms": p99_ms,
+        },
+        "cache": final["cache"],
+        "truth_cache": final["truth_cache"],
+    }
+    write_json("bench_service.json", payload)
+
+    assert total == CLIENTS * REQUESTS

@@ -42,6 +42,7 @@ from repro.experiments.runner import (
     execute_cell,
     execute_run,
     run_experiment,
+    set_truth_cache_limit,
     truth_cache_stats,
 )
 from repro.experiments.sweeps import (
@@ -80,6 +81,7 @@ __all__ = [
     "execute_cell",
     "execute_run",
     "run_experiment",
+    "set_truth_cache_limit",
     "truth_cache_stats",
     "SweepGrid",
     "SweepCellResult",

@@ -35,7 +35,10 @@ from repro.experiments.runner import (
     MethodAggregate,
     aggregate_records,
     execute_cell,
+    execute_cell_with_stats,
     execute_run,
+    execute_run_with_stats,
+    record_worker_truth_stats,
 )
 
 if TYPE_CHECKING:
@@ -58,16 +61,30 @@ def map_cells(
     executing inside a pool never opens a nested pool.
     """
     executor = executor_for(context)
+    pooled = context.jobs > 1
     if context.resolve_granularity(len(cells)) == "run":
-        return _map_cells_by_run(cells, context, executor)
-    inner = replace(context, jobs=1) if context.jobs > 1 else context
-    return executor.map(execute_cell, [(config, inner) for config in cells])
+        return _map_cells_by_run(cells, context, executor, pooled)
+    if pooled:
+        # workers run in their own processes, so each item also reports
+        # its truth-memo counter delta for the parent's merged stats view
+        items = [(config, replace(context, jobs=1)) for config in cells]
+        return _merge_worker_stats(executor.map(execute_cell_with_stats, items))
+    return executor.map(execute_cell, [(config, context) for config in cells])
+
+
+def _merge_worker_stats(results):
+    """Unwrap ``(result, truth-stats delta)`` pairs from pooled workers,
+    folding each delta into the parent's merged counters as it arrives."""
+    for result, delta in results:
+        record_worker_truth_stats(delta)
+        yield result
 
 
 def _map_cells_by_run(
     cells: Sequence[ExperimentConfig],
     context: "RunContext",
     executor: Executor,
+    pooled: bool,
 ) -> Iterator[dict[str, MethodAggregate]]:
     """Flatten cells × runs into one work queue; regroup per cell.
 
@@ -92,7 +109,10 @@ def _map_cells_by_run(
         for config in configured
         for run_seed in spawn_seeds(config.seed, config.runs)
     ]
-    results = executor.map(execute_run, items)
+    if pooled:
+        results = _merge_worker_stats(executor.map(execute_run_with_stats, items))
+    else:
+        results = executor.map(execute_run, items)
     for config in configured:
         records = [next(results) for _ in range(config.runs)]
         yield aggregate_records(config, records)

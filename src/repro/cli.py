@@ -13,6 +13,14 @@ Commands map one-to-one onto the paper's tables and figures::
     repro datasets
     repro profile <dataset> [--scale S]
     repro restore <dataset> [--fraction F] [--rc RC] [--out PREFIX]
+    repro serve   [--host H] [--port P] [--jobs N] [--cache-entries N]
+    repro request <op> [--host H] [--port P] [--params JSON] [--timeout S]
+
+``serve`` runs the long-lived restoration service (asyncio front end
+over a worker pool, content-addressed response cache, request
+coalescing — see ``repro.service``); ``request`` is its line client:
+it prints the canonical-JSON result payload on stdout (so two identical
+requests print byte-identical text) and progress/errors on stderr.
 
 Execution is described once per invocation by a
 :class:`repro.api.RunContext` built from the shared flags ``--backend``,
@@ -200,6 +208,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "graphs to the vectorized CSR engine)",
     )
     p_rest.add_argument("--out", default=None, help="output path prefix")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the restoration service (see repro.service)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7331, help="0 picks an ephemeral port")
+    p_serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker parallelism: >=2 is a process pool, 1 an in-process thread",
+    )
+    p_serve.add_argument(
+        "--cache-entries", type=int, default=128,
+        help="response LRU bound (0 disables response caching)",
+    )
+    p_serve.add_argument(
+        "--truth-cache-entries", type=int, default=8,
+        help="per-worker truth-PropertySet LRU bound (process-pool mode)",
+    )
+    p_serve.add_argument(
+        "--progress-interval", type=float, default=1.0,
+        help="seconds between progress frames on long-running requests",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-request time budget in seconds (none: wait forever)",
+    )
+
+    p_req = sub.add_parser(
+        "request", help="send one request to a running restoration service"
+    )
+    p_req.add_argument(
+        "op", choices=("ping", "stats", "profile", "evaluate", "restore")
+    )
+    p_req.add_argument("--host", default="127.0.0.1")
+    p_req.add_argument("--port", type=int, default=7331)
+    p_req.add_argument(
+        "--params", default="{}",
+        help='request parameters as a JSON object, e.g. \'{"dataset": "anybeat"}\'',
+    )
+    p_req.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request time budget in seconds (enforced server-side)",
+    )
     return parser
 
 
@@ -393,6 +444,55 @@ def _cmd_restore(args) -> str:
     return "\n".join(blocks)
 
 
+def _cmd_serve(args) -> str:
+    import asyncio
+
+    from repro.service import ReproService, serve
+
+    service = ReproService(
+        jobs=args.jobs,
+        cache_entries=args.cache_entries,
+        truth_cache_entries=args.truth_cache_entries,
+        progress_interval=args.progress_interval,
+        default_timeout=args.timeout,
+    )
+    asyncio.run(serve(service, host=args.host, port=args.port))
+    return ""
+
+
+def _cmd_request(args) -> str:
+    import json
+
+    from repro.errors import ReproError
+    from repro.service import ServiceClient, canonical_json
+
+    try:
+        params = json.loads(args.params)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"--params is not valid JSON: {exc}")
+    if not isinstance(params, dict):
+        raise SystemExit("--params must be a JSON object")
+
+    def on_progress(frame):
+        print(
+            f"progress: {frame.get('op')} elapsed {frame.get('elapsed')}s",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            payload = client.request(
+                args.op, params, timeout=args.timeout, on_progress=on_progress
+            )
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
+    except OSError as exc:
+        raise SystemExit(f"connection failed: {exc}")
+    # canonical JSON on stdout: identical requests print identical bytes
+    return canonical_json(payload)
+
+
 _HANDLERS = {
     "fig3": _cmd_fig3,
     "table2": _cmd_table2,
@@ -406,6 +506,8 @@ _HANDLERS = {
     "convergence": _cmd_convergence,
     "profile": _cmd_profile,
     "restore": _cmd_restore,
+    "serve": _cmd_serve,
+    "request": _cmd_request,
 }
 
 

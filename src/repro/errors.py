@@ -43,3 +43,22 @@ class ExperimentError(ReproError):
 
 class EngineError(ReproError):
     """Raised by the array engine for unknown backends or invalid kernels."""
+
+
+class ServiceError(ReproError):
+    """Raised by the serving layer (:mod:`repro.service`) for request
+    failures that are not covered by a more specific library error."""
+
+
+class ServiceTimeoutError(ServiceError):
+    """Raised when a service request exceeds its time budget.
+
+    Named ``ServiceTimeoutError`` (not ``TimeoutError``) so it never
+    shadows the builtin; the wire protocol maps it to the stable error
+    code ``"service_timeout"``.
+    """
+
+
+class ProtocolError(ServiceError):
+    """Raised for malformed service frames: invalid JSON, a non-object
+    frame, an unknown op, or unknown/missing request parameters."""

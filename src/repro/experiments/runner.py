@@ -25,6 +25,7 @@ several fractions) of one dataset computes the 12 exact properties once.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
@@ -116,9 +117,42 @@ class RunRecord:
 # or the run seed — so every run (and every fraction) of a dataset a
 # worker process executes shares one PropertySet.  Lives alongside the
 # dataset registry and CSR freeze caches, which memoize per process the
-# same way.
-_TRUTH_MEMO: dict[tuple[str, float, EvaluationConfig], PropertySet] = {}
-_TRUTH_STATS = {"hits": 0, "misses": 0}
+# same way.  Insertion/access order is maintained so a long-running
+# process (the :mod:`repro.service` server) can bound it LRU-style via
+# :func:`set_truth_cache_limit`; harness runs keep it unbounded.
+_TRUTH_MEMO: OrderedDict[tuple[str, float, EvaluationConfig], PropertySet] = (
+    OrderedDict()
+)
+_TRUTH_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+_TRUTH_LIMIT: int | None = None
+
+# Deltas merged back from pool workers (see execute_*_with_stats): each
+# worker's counters live in *its* process, so without this the parent's
+# truth_cache_stats() would read all-zero under jobs > 1 and any
+# cache-hit metric built on it would lie.
+_POOL_TRUTH_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def set_truth_cache_limit(limit: int | None) -> None:
+    """Bound the per-process truth memo to ``limit`` entries (LRU).
+
+    ``None`` removes the bound (the harness default — a sweep touches a
+    handful of datasets).  A long-running server process sets a bound so
+    arbitrary request traffic cannot grow the memo without limit; the
+    least-recently-used (dataset, scale, evaluation) entry is evicted
+    first and counted in ``truth_cache_stats()["evictions"]``.
+    """
+    global _TRUTH_LIMIT
+    if limit is not None and limit < 1:
+        raise ExperimentError(f"truth cache limit must be >= 1, got {limit}")
+    _TRUTH_LIMIT = limit
+    _evict_to_limit()
+
+
+def _evict_to_limit() -> None:
+    while _TRUTH_LIMIT is not None and len(_TRUTH_MEMO) > _TRUTH_LIMIT:
+        _TRUTH_MEMO.popitem(last=False)
+        _TRUTH_STATS["evictions"] += 1
 
 
 def cell_truth(config: ExperimentConfig, graph: MultiGraph) -> PropertySet:
@@ -134,23 +168,46 @@ def cell_truth(config: ExperimentConfig, graph: MultiGraph) -> PropertySet:
     cached = _TRUTH_MEMO.get(key)
     if cached is not None:
         _TRUTH_STATS["hits"] += 1
+        _TRUTH_MEMO.move_to_end(key)
         return cached
     _TRUTH_STATS["misses"] += 1
     truth = compute_properties(graph, evaluation)
     _TRUTH_MEMO[key] = truth
+    _evict_to_limit()
     return truth
 
 
-def truth_cache_stats() -> dict[str, int]:
-    """This process's truth-memo hit/miss counters (tests read these)."""
-    return dict(_TRUTH_STATS)
+def truth_cache_stats(merged: bool = True) -> dict[str, int]:
+    """Truth-memo hit/miss/eviction counters.
+
+    With ``merged=True`` (the default) the view folds in the deltas that
+    pool workers reported back through the executor layer, so the
+    numbers describe the whole (parent + workers) execution even under
+    ``jobs > 1``.  ``merged=False`` is the process-local view: in the
+    parent of a pooled run it counts only work the parent itself did.
+    """
+    stats = dict(_TRUTH_STATS)
+    if merged:
+        for name, value in _POOL_TRUTH_STATS.items():
+            stats[name] += value
+    return stats
+
+
+def record_worker_truth_stats(delta: dict[str, int]) -> None:
+    """Fold one worker item's truth-memo counter delta into the merged
+    view (called parent-side by the executor layer for every completed
+    pooled work-item)."""
+    for name in _POOL_TRUTH_STATS:
+        _POOL_TRUTH_STATS[name] += delta.get(name, 0)
 
 
 def clear_truth_cache() -> None:
-    """Drop memoized truth PropertySets and zero the counters."""
+    """Drop memoized truth PropertySets and zero all counters (the
+    process-local ones and the merged-back worker deltas)."""
     _TRUTH_MEMO.clear()
-    _TRUTH_STATS["hits"] = 0
-    _TRUTH_STATS["misses"] = 0
+    for stats in (_TRUTH_STATS, _POOL_TRUTH_STATS):
+        for name in stats:
+            stats[name] = 0
 
 
 def _run_once(
@@ -269,6 +326,41 @@ def execute_run(
     graph = load_dataset(config.dataset, scale=config.scale)
     truth = cell_truth(config, graph)
     return _run_once(graph, truth, config, run_seed)
+
+
+def _truth_stats_delta(fn, payload):
+    """Run ``fn(payload)`` and return ``(result, truth-counter delta)``.
+
+    The delta is what *this item* added to the process-local counters —
+    items execute sequentially within a worker process, so summing the
+    deltas of every item a pool ran reproduces the workers' total
+    activity exactly, with no double counting however items were
+    distributed."""
+    before = dict(_TRUTH_STATS)
+    result = fn(payload)
+    delta = {name: _TRUTH_STATS[name] - before[name] for name in before}
+    return result, delta
+
+
+def execute_cell_with_stats(
+    payload: tuple[ExperimentConfig, "RunContext"],
+) -> tuple[dict[str, MethodAggregate], dict[str, int]]:
+    """:func:`execute_cell` plus this item's truth-memo counter delta.
+
+    The pooled executor path maps this variant so the parent can merge
+    worker-side cache activity back (:func:`record_worker_truth_stats`)
+    — without it, ``truth_cache_stats()`` under ``jobs > 1`` reads only
+    the parent's untouched counters.
+    """
+    return _truth_stats_delta(execute_cell, payload)
+
+
+def execute_run_with_stats(
+    payload: tuple[ExperimentConfig, int, "RunContext | None"],
+) -> tuple[RunRecord, dict[str, int]]:
+    """:func:`execute_run` plus this item's truth-memo counter delta
+    (the run-granularity twin of :func:`execute_cell_with_stats`)."""
+    return _truth_stats_delta(execute_run, payload)
 
 
 def aggregate_records(

@@ -1,0 +1,72 @@
+"""``repro.service`` — restoration-as-a-service on top of the engine.
+
+A long-running asyncio server that answers restore/evaluate/profile
+requests over a newline-delimited JSON TCP protocol, reusing the
+experiment harness unchanged: every computation is the same pure,
+deterministically seeded work-item the executor layer runs, so a service
+response is bit-identical (on the deterministic fields) to calling the
+library directly.
+
+Layers::
+
+    protocol.py   frames, content addressing, stable error codes
+    cache.py      content-addressed LRU over response payloads
+    metrics.py    request counters + latency quantiles (stats op)
+    handlers.py   picklable worker-side compute entry points
+    server.py     ReproService: asyncio front end, coalescing, drain
+    client.py     sync + asyncio clients (CLI, tests, bench)
+
+Quickstart::
+
+    # server
+    python -m repro.cli serve --port 7331 --jobs 2
+
+    # client
+    python -m repro.cli request evaluate --port 7331 \\
+        --params '{"dataset": "anybeat", "fraction": 0.1, "runs": 1}'
+
+or in code::
+
+    from repro.service import ReproService, AsyncServiceClient
+"""
+
+from repro.service.cache import ContentAddressedLRU
+from repro.service.client import AsyncServiceClient, ServiceClient
+from repro.service.metrics import LatencyRecorder, ServiceMetrics, quantile
+from repro.service.protocol import (
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    aggregates_to_payload,
+    canonical_json,
+    content_address,
+    decode_frame,
+    encode_frame,
+    error_class,
+    error_code,
+    normalize_request,
+    request_key,
+)
+from repro.service.server import DEFAULT_PORT, ReproService, serve
+
+__all__ = [
+    "ReproService",
+    "serve",
+    "DEFAULT_PORT",
+    "ServiceClient",
+    "AsyncServiceClient",
+    "ContentAddressedLRU",
+    "ServiceMetrics",
+    "LatencyRecorder",
+    "quantile",
+    "PROTOCOL_VERSION",
+    "ERROR_CODES",
+    "error_code",
+    "error_class",
+    "canonical_json",
+    "content_address",
+    "request_key",
+    "normalize_request",
+    "encode_frame",
+    "decode_frame",
+    "aggregates_to_payload",
+]

@@ -1,0 +1,80 @@
+"""Content-addressed, size-bounded LRU cache for service responses.
+
+The server stores each computed response payload under the content
+address of its normalized request (:func:`repro.service.protocol.request_key`),
+so a repeat of any request — however its parameters were spelled — is a
+cache hit that skips the worker pool entirely.  The bound is an entry
+count with least-recently-used eviction; hit/miss/eviction counters feed
+the ``stats`` op.
+
+This is the serving-layer tier above the per-worker-process caches (the
+dataset registry, the CSR freeze cache, and the LRU-boundable truth
+memo of :mod:`repro.experiments.runner`): a response hit here never
+reaches a worker, a miss still benefits from the worker-side memos.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ServiceError
+
+
+class ContentAddressedLRU:
+    """Map content addresses to payloads, bounded to ``max_entries``.
+
+    ``max_entries=0`` disables storage entirely (every lookup is a miss)
+    — the switch the bench uses to measure uncached latency.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 0:
+            raise ServiceError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str):
+        """The payload stored under ``key``, or ``None`` (counts the
+        lookup as a hit or miss and refreshes recency on hit)."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self._misses += 1
+            return None
+        self._hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Store ``value`` under ``key``, evicting the LRU entry past the
+        bound.  A re-put refreshes recency without eviction."""
+        if self.max_entries == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry; counters keep accumulating."""
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters plus current and maximum size."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "size": len(self._entries),
+            "max_entries": self.max_entries,
+        }

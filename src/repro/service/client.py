@@ -1,0 +1,146 @@
+"""Clients for the restoration service: one sync, one asyncio.
+
+:class:`ServiceClient` is the blocking client the ``repro request`` CLI
+uses — plain sockets, no event loop.  :class:`AsyncServiceClient` is the
+asyncio twin the tests and the load bench drive many of concurrently.
+
+Both speak the protocol of :mod:`repro.service.protocol`: send one
+request frame, consume progress frames until the terminal frame, then
+either return the ``result`` payload or raise the exception class the
+``error_code`` maps back to (:func:`~repro.service.protocol.error_class`).
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import ProtocolError
+from repro.service.protocol import decode_frame, encode_frame, error_class
+
+
+def _terminal(frame: dict, on_progress=None):
+    """Classify one frame: returns the result payload for a ``result``
+    frame, raises for an ``error`` frame, and returns ``None`` (after
+    invoking ``on_progress``) for a ``progress`` frame."""
+    event = frame.get("event")
+    if event == "result":
+        return frame.get("result"), True
+    if event == "error":
+        klass = error_class(frame.get("error_code", "service"))
+        raise klass(frame.get("message", "service error"))
+    if event == "progress":
+        if on_progress is not None:
+            on_progress(frame)
+        return None, False
+    raise ProtocolError(f"unexpected frame event {event!r}")
+
+
+class ServiceClient:
+    """Blocking client over one TCP connection (context manager)."""
+
+    def __init__(
+        self, host: str, port: int, connect_timeout: float | None = 10.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        # progress frames can be minutes apart on long rewiring runs; the
+        # per-request deadline is the *server's* job (timeout field), so
+        # the socket itself stays blocking once connected
+        self._sock.settimeout(None)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def request(
+        self,
+        op: str,
+        params: dict | None = None,
+        timeout: float | None = None,
+        on_progress=None,
+    ) -> dict:
+        """Send one request; block until its terminal frame.
+
+        Returns the result payload; raises the mapped
+        :class:`~repro.errors.ReproError` subclass on an error frame.
+        ``on_progress`` receives each progress frame as it arrives.
+        """
+        self._next_id += 1
+        frame = {"id": f"c{self._next_id}", "op": op, "params": params or {}}
+        if timeout is not None:
+            frame["timeout"] = timeout
+        self._sock.sendall(encode_frame(frame))
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ProtocolError("connection closed before the terminal frame")
+            payload, done = _terminal(decode_frame(line), on_progress)
+            if done:
+                return payload
+
+
+class AsyncServiceClient:
+    """Asyncio client over one connection (used by tests and the bench)."""
+
+    def __init__(self, reader, writer) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncServiceClient":
+        import asyncio
+
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def request_frames(
+        self, op: str, params: dict | None = None, timeout: float | None = None
+    ) -> list[dict]:
+        """All frames of one request, progress included, terminal last —
+        the raw view tests assert against (never raises on error frames)."""
+        self._next_id += 1
+        frame = {"id": f"a{self._next_id}", "op": op, "params": params or {}}
+        if timeout is not None:
+            frame["timeout"] = timeout
+        self._writer.write(encode_frame(frame))
+        await self._writer.drain()
+        frames: list[dict] = []
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                raise ProtocolError("connection closed before the terminal frame")
+            frames.append(decode_frame(line))
+            if frames[-1].get("event") in ("result", "error"):
+                return frames
+
+    async def request(
+        self,
+        op: str,
+        params: dict | None = None,
+        timeout: float | None = None,
+        on_progress=None,
+    ) -> dict:
+        """Like :meth:`ServiceClient.request`, on the event loop."""
+        frames = await self.request_frames(op, params, timeout)
+        for frame in frames[:-1]:
+            if on_progress is not None:
+                on_progress(frame)
+        payload, _ = _terminal(frames[-1])
+        return payload

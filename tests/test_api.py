@@ -457,7 +457,7 @@ class TestTruthMemo:
         clear_truth_cache()
         run_experiment(self._config(runs=3), context=RunContext(seed=5))
         stats = truth_cache_stats()
-        assert stats == {"misses": 1, "hits": 2}
+        assert stats == {"hits": 2, "misses": 1, "evictions": 0}
 
     def test_second_fraction_reuses_truth(self):
         clear_truth_cache()
@@ -465,7 +465,7 @@ class TestTruthMemo:
         run_experiment(self._config(fraction=0.2, runs=2), context=RunContext(seed=5))
         # truth depends on (dataset, scale, evaluation) only — not fraction
         stats = truth_cache_stats()
-        assert stats == {"misses": 1, "hits": 3}
+        assert stats == {"hits": 3, "misses": 1, "evictions": 0}
 
     def test_distinct_evaluation_distinct_truth(self):
         clear_truth_cache()
@@ -476,6 +476,21 @@ class TestTruthMemo:
         )
         run_experiment(other, context=RunContext(seed=5))
         assert truth_cache_stats()["misses"] == 2
+
+    def test_pooled_execution_aggregates_worker_stats(self):
+        """Regression: under ``jobs > 1`` the truth memo lives in the
+        worker processes, so the parent's own counters stay zero — the
+        merged view must fold the per-item worker deltas back instead of
+        reporting an all-zero cache for a run that clearly used it."""
+        clear_truth_cache()
+        run_experiment(self._config(runs=3), context=RunContext(seed=5, jobs=2))
+        local = truth_cache_stats(merged=False)
+        assert local == {"hits": 0, "misses": 0, "evictions": 0}
+        merged = truth_cache_stats()
+        # every run either computed the cell truth or reused a pooled
+        # worker's memo: the deltas must account for all three runs
+        assert merged["hits"] + merged["misses"] == 3
+        assert merged["misses"] >= 1
 
 
 class TestDeprecationShims:
