@@ -1,0 +1,288 @@
+"""Snapshot-store benchmarks: worker cold start and out-of-core evaluation.
+
+Two guards over the shared-memory / mmap substrate:
+
+* **attach vs rebuild** — a fresh process attaching a published snapshot
+  (unpickle descriptors + map the segment + register it, exactly what
+  ``pool_worker_init`` does) must beat the legacy per-worker cold start
+  (rebuild the dataset stand-in, freeze it to CSR, run the truth
+  evaluation) by :data:`TARGET_ATTACH_SPEEDUP` wall-clock.  Both sides
+  are timed inside subprocesses with imports paid before the clock, so
+  the measurement is the per-worker marginal cost, not interpreter
+  startup.  The same test replays a ``jobs=2`` cell through the
+  publication path and asserts its deterministic CSV is byte-identical
+  to the serial loop's.
+
+* **out-of-core** — a synthetic edge stream with a snapshot several
+  times larger than the configured RAM budget is frozen to disk by
+  ``freeze_stream`` and evaluated through ``mmap`` (degree statistics
+  plus the streamed BFS pair-length histogram with a bounded gather
+  window).  Each phase runs in its own subprocess and its ``ru_maxrss``
+  high-water mark must stay under the bound: the freeze phase under the
+  snapshot's own size (the slot array is never held in RAM), the
+  evaluation phase under the int64 in-RAM footprint the same arrays
+  would cost if loaded (mmap pages plus BFS work stay below a full
+  materialization).
+
+Knobs (environment):
+
+    BENCH_STORE_SCALE      dataset scale for attach/rebuild (default 0.35)
+    BENCH_STORE_NODES      out-of-core node count           (default 300000)
+    BENCH_STORE_EDGES      out-of-core edge count           (default 10000000)
+    BENCH_STORE_BUDGET_MB  freeze_stream RAM budget in MB   (default 16)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import pickle
+import subprocess
+import sys
+
+from conftest import BENCH_EVAL, write_json
+
+from repro.api import RunContext, clear_truth_cache, run_experiment
+from repro.api.workers import publish_cells
+from repro.experiments.report import results_to_csv
+from repro.experiments.runner import ExperimentConfig
+from repro.graph.datasets import YOUTUBE_DATASET, clear_dataset_cache
+
+SCALE = float(os.environ.get("BENCH_STORE_SCALE", "0.35"))
+OOC_NODES = int(os.environ.get("BENCH_STORE_NODES", "300000"))
+OOC_EDGES = int(os.environ.get("BENCH_STORE_EDGES", "10000000"))
+OOC_BUDGET = int(os.environ.get("BENCH_STORE_BUDGET_MB", "16")) * 1024 * 1024
+
+TARGET_ATTACH_SPEEDUP = 5.0
+OOC_CHUNK = 500_000
+OOC_SOURCES = 4
+OOC_GATHER_SLOTS = 2_000_000
+SEED = 7
+
+_REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _run_child(code: str, *argv: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", code, *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=_REPO,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+# ----------------------------------------------------------------------
+# attach vs per-worker rebuild
+# ----------------------------------------------------------------------
+_REBUILD_CHILD = """
+import json, pickle, sys, time
+with open(sys.argv[1], "rb") as f:
+    config, _ = pickle.load(f)
+from repro.engine.dispatch import ensure_csr
+from repro.experiments.runner import cell_truth
+from repro.graph.datasets import load_dataset
+
+start = time.perf_counter()
+graph = load_dataset(config.dataset, scale=config.scale)
+csr = ensure_csr(graph)
+truth = cell_truth(config, graph)
+seconds = time.perf_counter() - start
+print(json.dumps({"seconds": seconds, "edges": csr.num_edges}))
+"""
+
+_ATTACH_CHILD = """
+import json, pickle, sys, time
+from repro.api.workers import pool_worker_init
+from repro.experiments.runner import shared_dataset_graph
+with open(sys.argv[1], "rb") as f:
+    pickle.load(f)  # warm the descriptor file so both reads hit cache
+
+start = time.perf_counter()
+with open(sys.argv[1], "rb") as f:
+    config, descriptors = pickle.load(f)
+pool_worker_init(None, descriptors)
+graph = shared_dataset_graph(config.dataset, config.scale)
+seconds = time.perf_counter() - start
+assert graph is not None
+print(json.dumps({"seconds": seconds, "edges": graph.num_edges}))
+"""
+
+
+def _cell_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset=YOUTUBE_DATASET,
+        fraction=0.05,
+        runs=2,
+        methods=("rw", "gjoka", "proposed"),
+        rc=10.0,
+        scale=SCALE,
+        evaluation=BENCH_EVAL,
+    )
+
+
+def test_bench_attach_vs_rebuild(results_dir, tmp_path):
+    config = _cell_config()
+    clear_dataset_cache()
+    clear_truth_cache()
+    publication = publish_cells([config])
+    assert publication is not None, "shared memory unavailable"
+    try:
+        spec_file = tmp_path / "descriptors.pkl"
+        spec_file.write_bytes(
+            pickle.dumps((config, publication.descriptors))
+        )
+        rebuild = _run_child(_REBUILD_CHILD, str(spec_file))
+        attach = _run_child(_ATTACH_CHILD, str(spec_file))
+        published_bytes = publication.nbytes
+    finally:
+        publication.close()
+    assert rebuild["edges"] == attach["edges"]
+    speedup = rebuild["seconds"] / attach["seconds"]
+
+    # the same substrate end to end: a jobs=2 cell through publication
+    # must stay byte-identical to the serial loop
+    clear_dataset_cache()
+    clear_truth_cache()
+    serial = run_experiment(_cell_config(), context=RunContext(seed=SEED, jobs=1))
+    clear_dataset_cache()
+    clear_truth_cache()
+    pooled = run_experiment(_cell_config(), context=RunContext(seed=SEED, jobs=2))
+    serial_csv = results_to_csv({YOUTUBE_DATASET: serial}, include_timings=False)
+    pooled_csv = results_to_csv({YOUTUBE_DATASET: pooled}, include_timings=False)
+    assert serial_csv == pooled_csv
+
+    payload = {
+        "cell": {
+            "dataset": YOUTUBE_DATASET,
+            "scale": SCALE,
+            "fraction": 0.05,
+            "runs": 2,
+        },
+        "published_bytes": published_bytes,
+        "rebuild_seconds": rebuild["seconds"],
+        "attach_seconds": attach["seconds"],
+        "attach_speedup": speedup,
+        "target_attach_speedup": TARGET_ATTACH_SPEEDUP,
+        "bit_identical_jobs2_csv": serial_csv == pooled_csv,
+    }
+    write_json("bench_snapshot_store.json", payload)
+    assert speedup >= TARGET_ATTACH_SPEEDUP, payload
+
+
+# ----------------------------------------------------------------------
+# out-of-core freeze + mmap evaluation under a RAM budget
+# ----------------------------------------------------------------------
+_FREEZE_CHILD = """
+import json, resource, sys, time
+import numpy as np
+from repro.engine.store import freeze_stream
+params = json.loads(sys.argv[1])
+n, m, chunk, seed, budget = (
+    params["n"], params["m"], params["chunk"], params["seed"], params["budget"]
+)
+
+def chunks():
+    rng = np.random.default_rng(seed)
+    remaining = m
+    while remaining:
+        size = min(chunk, remaining)
+        yield rng.integers(0, n, size=size), rng.integers(0, n, size=size)
+        remaining -= size
+
+baseline_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+start = time.perf_counter()
+freeze_stream(params["path"], n, chunks, ram_budget=budget)
+seconds = time.perf_counter() - start
+peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps(
+    {"seconds": seconds, "baseline_kb": baseline_kb, "peak_kb": peak_kb}
+))
+"""
+
+_EVAL_CHILD = """
+import json, resource, sys, time
+import numpy as np
+from repro.engine import bfs_kernels
+from repro.engine.store import load_snapshot
+params = json.loads(sys.argv[1])
+
+baseline_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+start = time.perf_counter()
+graph = load_snapshot(params["path"], mode="mmap")
+degree = graph.degree_array()
+degree_sum = int(np.sum(degree, dtype=np.int64))
+degree_max = int(degree.max())
+sources = np.linspace(
+    0, graph.num_nodes - 1, params["sources"]
+).astype(np.int64)
+hist, farthest = bfs_kernels.pair_length_histogram(
+    graph, sources, gather_slots=params["gather_slots"]
+)
+seconds = time.perf_counter() - start
+peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps({
+    "seconds": seconds,
+    "baseline_kb": baseline_kb,
+    "peak_kb": peak_kb,
+    "degree_sum": degree_sum,
+    "degree_max": degree_max,
+    "finite_pairs": int(np.sum(hist, dtype=np.int64)),
+    "farthest": int(farthest),
+}))
+"""
+
+
+def test_bench_out_of_core_mmap(results_dir, tmp_path):
+    path = tmp_path / "ooc.rcsr"
+    params = {
+        "path": str(path),
+        "n": OOC_NODES,
+        "m": OOC_EDGES,
+        "chunk": OOC_CHUNK,
+        "seed": SEED,
+        "budget": OOC_BUDGET,
+        "sources": OOC_SOURCES,
+        "gather_slots": OOC_GATHER_SLOTS,
+    }
+    freeze = _run_child(_FREEZE_CHILD, json.dumps(params))
+    snapshot_bytes = path.stat().st_size
+    evaluate = _run_child(_EVAL_CHILD, json.dumps(params))
+
+    # every edge contributes 2 to the degree sum (loops included)
+    assert evaluate["degree_sum"] == 2 * OOC_EDGES
+    assert 0 < evaluate["finite_pairs"] <= OOC_SOURCES * (OOC_NODES - 1)
+
+    freeze_delta = (freeze["peak_kb"] - freeze["baseline_kb"]) * 1024
+    eval_delta = (evaluate["peak_kb"] - evaluate["baseline_kb"]) * 1024
+    # what load_snapshot(mode="ram") would hold: int64 indices + vectors
+    in_ram_bytes = 2 * OOC_EDGES * 8 + (OOC_NODES + 1) * 8 + OOC_NODES * 8
+
+    payload = {
+        "graph": {"nodes": OOC_NODES, "edges": OOC_EDGES},
+        "ram_budget_bytes": OOC_BUDGET,
+        "snapshot_bytes": snapshot_bytes,
+        "snapshot_over_budget": snapshot_bytes / OOC_BUDGET,
+        "in_ram_equivalent_bytes": in_ram_bytes,
+        "freeze_seconds": freeze["seconds"],
+        "freeze_peak_rss_delta_bytes": freeze_delta,
+        "evaluate_seconds": evaluate["seconds"],
+        "evaluate_peak_rss_delta_bytes": eval_delta,
+        "evaluate": {
+            "degree_max": evaluate["degree_max"],
+            "finite_pairs": evaluate["finite_pairs"],
+            "farthest": evaluate["farthest"],
+            "sources": OOC_SOURCES,
+            "gather_slots": OOC_GATHER_SLOTS,
+        },
+    }
+    write_json("bench_snapshot_store_ooc.json", payload)
+
+    assert snapshot_bytes > OOC_BUDGET, payload
+    assert freeze_delta < snapshot_bytes, payload
+    assert eval_delta < in_ram_bytes, payload

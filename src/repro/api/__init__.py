@@ -26,6 +26,13 @@ from repro.api.executors import (
     executor_for,
 )
 from repro.api.run import map_cells
+from repro.api.workers import (
+    DatasetPublication,
+    SharedDataset,
+    pool_worker_init,
+    publish_cells,
+    publish_datasets,
+)
 from repro.experiments.figures import (
     Figure3Settings,
     Figure4Settings,
@@ -73,6 +80,11 @@ __all__ = [
     "ProcessPoolExecutor",
     "executor_for",
     "map_cells",
+    "DatasetPublication",
+    "SharedDataset",
+    "pool_worker_init",
+    "publish_cells",
+    "publish_datasets",
     "ExperimentConfig",
     "MethodAggregate",
     "RunRecord",

@@ -97,6 +97,14 @@ class RunContext:
         :meth:`resolve_granularity`).  Aggregation order is fixed by the
         pre-spawned per-run seed list, so every granularity is
         bit-identical to the serial loop on fixed seeds.
+    shared_memory:
+        When true (the default) and ``jobs > 1``, the scheduler publishes
+        each distinct dataset's frozen CSR snapshot into shared memory
+        and ships the parent-computed truth PropertySets, so workers
+        attach zero-copy instead of rebuilding dataset + freeze + exact
+        evaluation per process (:mod:`repro.api.workers`).  Results are
+        bit-identical either way; set false to force the legacy
+        rebuild-per-worker path (or when ``/dev/shm`` is constrained).
     """
 
     backend: str = "auto"
@@ -104,6 +112,7 @@ class RunContext:
     exact_paths: bool = False
     jobs: int = 1
     granularity: str = "auto"
+    shared_memory: bool = True
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKENDS:

@@ -74,12 +74,18 @@ class ProcessPoolExecutor:
     ----------
     jobs:
         Worker process count (>= 2; use :class:`SerialExecutor` for 1).
+    initializer, initargs:
+        Forwarded to every worker process at start — the scheduler passes
+        :func:`repro.api.workers.pool_worker_init` here so workers attach
+        published shared-memory snapshots before their first item.
     """
 
-    def __init__(self, jobs: int) -> None:
+    def __init__(self, jobs: int, initializer=None, initargs: tuple = ()) -> None:
         if jobs < 2:
             raise ExperimentError(f"ProcessPoolExecutor needs jobs >= 2, got {jobs}")
         self.jobs = jobs
+        self._initializer = initializer
+        self._initargs = initargs
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[R]:
         """Yield results in submission order, with paced submissions.
@@ -112,7 +118,9 @@ class ProcessPoolExecutor:
         if not head:
             return
         with _futures.ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(head))
+            max_workers=min(self.jobs, len(head)),
+            initializer=self._initializer,
+            initargs=self._initargs,
         ) as pool:
             pending = deque(pool.submit(fn, item) for item in head)
             try:
@@ -145,8 +153,14 @@ class ProcessPoolExecutor:
                 raise
 
 
-def executor_for(context: Any) -> Executor:
-    """The executor a :class:`~repro.api.context.RunContext` asks for."""
+def executor_for(
+    context: Any, initializer=None, initargs: tuple = ()
+) -> Executor:
+    """The executor a :class:`~repro.api.context.RunContext` asks for.
+
+    ``initializer``/``initargs`` apply only when a pool is created; the
+    serial executor runs in process and needs no worker setup.
+    """
     if context.jobs <= 1:
         return SerialExecutor()
-    return ProcessPoolExecutor(context.jobs)
+    return ProcessPoolExecutor(context.jobs, initializer, initargs)

@@ -59,9 +59,39 @@ def map_cells(
     The context's resolved granularity decides the work-item unit (module
     docstring); workers always receive a ``jobs=1`` context so a cell
     executing inside a pool never opens a nested pool.
+
+    With ``context.shared_memory`` (the default) a pooled run first
+    publishes each distinct dataset's frozen snapshot into shared memory
+    and computes each distinct evaluation's truth once, parent-side
+    (:func:`repro.api.workers.publish_cells`); the pool initializer
+    attaches workers zero-copy.  The publication lives until the result
+    iterator is exhausted (or abandoned) and falls away silently when
+    shared memory is unavailable.
     """
-    executor = executor_for(context)
     pooled = context.jobs > 1
+    publication = None
+    if pooled and context.shared_memory:
+        from repro.api.workers import pool_worker_init, publish_cells
+
+        publication = publish_cells([context.configure(c) for c in cells])
+    if publication is not None:
+        executor = executor_for(
+            context, pool_worker_init, (None, publication.descriptors)
+        )
+    else:
+        executor = executor_for(context)
+    results = _schedule_cells(cells, context, executor, pooled)
+    if publication is None:
+        return results
+    return _close_after(results, publication)
+
+
+def _schedule_cells(
+    cells: Sequence[ExperimentConfig],
+    context: "RunContext",
+    executor: Executor,
+    pooled: bool,
+) -> Iterator[dict[str, MethodAggregate]]:
     if context.resolve_granularity(len(cells)) == "run":
         return _map_cells_by_run(cells, context, executor, pooled)
     if pooled:
@@ -70,6 +100,16 @@ def map_cells(
         items = [(config, replace(context, jobs=1)) for config in cells]
         return _merge_worker_stats(executor.map(execute_cell_with_stats, items))
     return executor.map(execute_cell, [(config, context) for config in cells])
+
+
+def _close_after(results, publication):
+    """Yield through ``results``, unlinking the publication when the
+    iterator finishes or is abandoned (generator close runs the finally;
+    attached workers keep their mappings until they exit)."""
+    try:
+        yield from results
+    finally:
+        publication.close()
 
 
 def _merge_worker_stats(results):

@@ -13,7 +13,8 @@ Commands map one-to-one onto the paper's tables and figures::
     repro datasets
     repro profile <dataset> [--scale S]
     repro restore <dataset> [--fraction F] [--rc RC] [--out PREFIX]
-    repro serve   [--host H] [--port P] [--jobs N] [--cache-entries N]
+    repro snapshot <dataset> --out PATH [--scale S] [--check]
+    repro serve   [--host H] [--port P] [--jobs N] [--share d[:scale]]
     repro request <op> [--host H] [--port P] [--params JSON] [--timeout S]
 
 ``serve`` runs the long-lived restoration service (asyncio front end
@@ -108,6 +109,13 @@ def _build_parser() -> argparse.ArgumentParser:
                 default=1,
                 help="worker processes for cell execution (results are "
                 "bit-identical to --jobs 1 on a fixed seed)",
+            )
+            p.add_argument(
+                "--no-shared-memory",
+                action="store_true",
+                help="disable shared-memory dataset snapshots under --jobs "
+                ">= 2 (workers rebuild datasets per process; results are "
+                "bit-identical either way)",
             )
             p.add_argument(
                 "--granularity",
@@ -209,6 +217,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_rest.add_argument("--out", default=None, help="output path prefix")
 
+    p_snap = sub.add_parser(
+        "snapshot",
+        help="freeze a dataset to an on-disk CSR snapshot (see repro.engine.store)",
+    )
+    p_snap.add_argument("dataset")
+    p_snap.add_argument("--scale", type=float, default=1.0)
+    p_snap.add_argument("--out", required=True, help="snapshot file path")
+    p_snap.add_argument(
+        "--check",
+        action="store_true",
+        help="reload the written snapshot (ram + mmap) and verify it "
+        "round-trips the frozen graph exactly",
+    )
+
     p_serve = sub.add_parser(
         "serve", help="run the restoration service (see repro.service)"
     )
@@ -233,6 +255,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--timeout", type=float, default=None,
         help="default per-request time budget in seconds (none: wait forever)",
+    )
+    p_serve.add_argument(
+        "--share", action="append", default=[], metavar="DATASET[:SCALE]",
+        help="publish a dataset's frozen snapshot into shared memory at "
+        "startup so pool workers attach instead of rebuilding (repeatable; "
+        "process-pool mode only)",
     )
 
     p_req = sub.add_parser(
@@ -262,6 +290,7 @@ def _context(args) -> RunContext:
         exact_paths=getattr(args, "exact_paths", False),
         jobs=getattr(args, "jobs", 1),
         granularity=getattr(args, "granularity", "auto"),
+        shared_memory=not getattr(args, "no_shared_memory", False),
     )
 
 
@@ -444,6 +473,44 @@ def _cmd_restore(args) -> str:
     return "\n".join(blocks)
 
 
+def _cmd_snapshot(args) -> str:
+    from repro.engine.dispatch import ensure_csr
+    from repro.engine.store import load_snapshot, save_snapshot
+
+    csr = ensure_csr(load_dataset(args.dataset, scale=args.scale))
+    path = save_snapshot(csr, args.out)
+    lines = [
+        f"wrote {path} ({path.stat().st_size} bytes, "
+        f"n={csr.num_nodes}, m={csr.num_edges})"
+    ]
+    if args.check:
+        import numpy as np
+
+        for mode in ("ram", "mmap"):
+            loaded = load_snapshot(path, mode=mode)
+            ok = (
+                list(loaded.node_list) == list(csr.node_list)
+                and np.array_equal(loaded.indptr, csr.indptr)
+                and np.array_equal(loaded.indices, csr.indices)
+                and np.array_equal(loaded.degree_array(), csr.degree_array())
+            )
+            if not ok:
+                raise SystemExit(f"snapshot check failed in {mode} mode")
+            lines.append(f"check {mode}: ok")
+    return "\n".join(lines)
+
+
+def _parse_share(entries: list[str]) -> tuple:
+    targets = []
+    for entry in entries:
+        name, _, scale = entry.partition(":")
+        try:
+            targets.append((name, float(scale) if scale else 1.0))
+        except ValueError:
+            raise SystemExit(f"bad --share entry {entry!r}: scale must be a number")
+    return tuple(targets)
+
+
 def _cmd_serve(args) -> str:
     import asyncio
 
@@ -455,6 +522,7 @@ def _cmd_serve(args) -> str:
         truth_cache_entries=args.truth_cache_entries,
         progress_interval=args.progress_interval,
         default_timeout=args.timeout,
+        shared_datasets=_parse_share(args.share),
     )
     asyncio.run(serve(service, host=args.host, port=args.port))
     return ""
@@ -506,6 +574,7 @@ _HANDLERS = {
     "convergence": _cmd_convergence,
     "profile": _cmd_profile,
     "restore": _cmd_restore,
+    "snapshot": _cmd_snapshot,
     "serve": _cmd_serve,
     "request": _cmd_request,
 }

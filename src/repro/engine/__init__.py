@@ -16,6 +16,11 @@ implementation:
   routing used by :mod:`repro.metrics`, the estimators, and the experiment
   harness; ``auto`` upgrades large graphs to the CSR kernels and leaves
   small ones on the bit-exact reference path.
+* :mod:`repro.engine.store` — the snapshot store: a canonical flat-buffer
+  byte layout for frozen snapshots, saved/loaded on disk (RAM or
+  ``mmap``-backed out-of-core), streamed out-of-core by ``freeze_stream``,
+  or published into shared memory (:class:`SharedSnapshot` / ``attach``)
+  so worker processes map one copy instead of rebuilding.
 
 Query-accounted random walks over a snapshot live in
 :class:`repro.sampling.csr_access.CSRGraphAccess`, keeping the paper's
@@ -37,6 +42,15 @@ from repro.engine.dispatch import (
     resolve_backend,
 )
 from repro.engine.kernels import batched_random_walks, ensure_generator
+from repro.engine.store import (
+    SharedSnapshot,
+    attach,
+    detach,
+    freeze_stream,
+    load_snapshot,
+    save_snapshot,
+    snapshot_nbytes,
+)
 
 __all__ = [
     "CSRGraph",
@@ -53,4 +67,11 @@ __all__ = [
     "bfs_distance_block",
     "brandes_scores",
     "pair_length_histogram",
+    "SharedSnapshot",
+    "attach",
+    "detach",
+    "freeze_stream",
+    "load_snapshot",
+    "save_snapshot",
+    "snapshot_nbytes",
 ]

@@ -181,19 +181,25 @@ def _check_sources(csr: CSRGraph, sources: np.ndarray) -> np.ndarray:
     return src
 
 
-def _check_block_envelope(b: int, n: int) -> None:
-    """Composite ids ``b * n + v`` are int32; refuse blocks that overflow.
+#: Ceiling below which composite ids, slot positions, and queue ranks ride
+#: in int32 (halving the bandwidth of the block-sized intermediates); any
+#: block whose worst-case intermediate exceeds it takes the int64 tier
+#: instead.  Module-level so the int64 tier's equivalence tests can shrink
+#: it and drive small graphs down the wide path.
+_COMPOSITE_ENVELOPE = int(np.iinfo(np.int32).max)
 
-    The default block budgets stay far below this, so only explicit
-    oversized ``batch_size`` requests (or direct ``bfs_distance_block``
-    calls with huge source arrays, which would also allocate a
-    ``b x n`` result) can trip it.
+
+def _id_dtype(b: int, csr: CSRGraph) -> np.dtype:
+    """Id dtype for a block of ``b`` sources over ``csr``.
+
+    int32 whenever every intermediate fits: composite ids reach
+    ``b * n``, and one level's gather can touch up to ``b * 2m`` slots.
+    The default block budgets stay far below the envelope, so only
+    explicit oversized ``batch_size`` requests or genuinely huge
+    (``> 2**31`` node/slot) snapshots open the int64 tier.
     """
-    if b * n > np.iinfo(np.int32).max:
-        raise EngineError(
-            f"BFS block of {b} sources x {n} nodes exceeds the int32 "
-            "composite-id envelope; use a smaller batch_size"
-        )
+    worst = b * max(1, csr.num_nodes, csr.indices.size)
+    return np.dtype(np.int32 if worst <= _COMPOSITE_ENVELOPE else np.int64)
 
 
 def _block_size(csr: CSRGraph, num_sources: int, budget: int) -> int:
@@ -203,7 +209,7 @@ def _block_size(csr: CSRGraph, num_sources: int, budget: int) -> int:
 
 def _gather_frontier(
     indptr: np.ndarray,
-    indices32: np.ndarray,
+    indices_t: np.ndarray,
     frontier: np.ndarray,
     nodes: np.ndarray,
     with_sources: bool,
@@ -214,12 +220,13 @@ def _gather_frontier(
     ----------
     indptr:
         The snapshot's ``int64`` row offsets.
-    indices32:
-        The snapshot's slot endpoints downcast to ``int32`` (composite ids
-        stay below the block entry budget, so 32-bit arithmetic halves the
-        bandwidth of the block-sized intermediates).
+    indices_t:
+        The snapshot's slot endpoints cast to the block's id dtype (see
+        :func:`_id_dtype` — int32 whenever the block's intermediates fit,
+        halving their bandwidth, int64 on huge graphs or blocks).
     frontier:
-        ``int32`` composite node ids ``b * n + v``, one per frontier member.
+        Composite node ids ``b * n + v`` in the block's id dtype, one per
+        frontier member; every intermediate here inherits its dtype.
     nodes:
         ``frontier``'s plain node ids ``v`` (precomputed by the caller).
     with_sources:
@@ -229,41 +236,39 @@ def _gather_frontier(
     Returns
     -------
     nbr, src_rep:
-        ``int32`` composite neighbor id per gathered slot — and, when
-        requested, the composite source id per slot (otherwise an empty
-        array) — in ``frontier order x adjacency order``, the reference
-        BFS's scan order, which the queue-order dedup and the sigma
-        accumulation both rely on.
+        Composite neighbor id per gathered slot — and, when requested,
+        the composite source id per slot (otherwise an empty array) — in
+        ``frontier order x adjacency order``, the reference BFS's scan
+        order, which the queue-order dedup and the sigma accumulation
+        both rely on.
     """
+    dt = frontier.dtype
     counts = indptr[nodes + 1] - indptr[nodes]
     total = int(counts.sum())
-    empty = np.empty(0, dtype=np.int32)
+    empty = np.empty(0, dtype=dt)
     if total == 0:
         return empty, empty
-    if total > np.iinfo(np.int32).max:
-        # slot positions ride in int32 like the composite ids; a gather
-        # this size implies an oversized explicit batch on a huge or
-        # heavily parallel graph — refuse rather than wrap silently
-        raise EngineError(
-            f"BFS frontier gather of {total} slots exceeds the int32 "
-            "envelope; use a smaller batch_size"
-        )
     # one fused repeat: row 0 carries the slot-offset correction that turns
     # a flat arange into per-node slot ranges, row 1 the composite base
     # b * n (and row 2, when needed, the composite source id)
     ends = np.cumsum(counts)
-    offsets = (indptr[nodes] - (ends - counts)).astype(np.int32)
+    offsets = (indptr[nodes] - (ends - counts)).astype(dt)
     rows = (offsets, frontier - nodes, frontier) if with_sources else (
         offsets,
         frontier - nodes,
     )
     rep = np.repeat(np.stack(rows), counts, axis=1)
-    slots = np.arange(total, dtype=np.int32) + rep[0]
-    nbr = rep[1] + indices32[slots]
+    slots = np.arange(total, dtype=dt) + rep[0]
+    nbr = rep[1] + indices_t[slots]
     return nbr, (rep[2] if with_sources else empty)
 
 
-def bfs_distance_block(csr: CSRGraph, sources: np.ndarray) -> np.ndarray:
+def bfs_distance_block(
+    csr: CSRGraph,
+    sources: np.ndarray,
+    *,
+    gather_slots: int | None = None,
+) -> np.ndarray:
     """Level-synchronous BFS distances from a block of sources.
 
     Parameters
@@ -273,6 +278,12 @@ def bfs_distance_block(csr: CSRGraph, sources: np.ndarray) -> np.ndarray:
         unweighted distances).
     sources:
         ``int64[B]`` positional source indices, one BFS per entry.
+    gather_slots:
+        Optional cap on the slots one neighbor gather may touch; frontiers
+        whose adjacency exceeds it are expanded in segments.  Bounds the
+        transient memory of a level at ``O(gather_slots)`` instead of
+        ``O(m)`` — the knob out-of-core (mmap-backed) evaluation uses.
+        Distances are segment-order independent, so results are identical.
 
     Returns
     -------
@@ -280,41 +291,89 @@ def bfs_distance_block(csr: CSRGraph, sources: np.ndarray) -> np.ndarray:
         ``int32[B, n]`` hop counts; unreachable nodes hold ``-1``.
     """
     src = _check_sources(csr, sources)
-    return _distance_block(csr, src, csr.indices.astype(np.int32))
+    dt = _id_dtype(src.size, csr)
+    indices_t = csr.indices.astype(dt, copy=False)
+    return _distance_block(csr, src, indices_t, gather_slots=gather_slots)
 
 
 def _distance_block(
-    csr: CSRGraph, src: np.ndarray, indices32: np.ndarray
+    csr: CSRGraph,
+    src: np.ndarray,
+    indices_t: np.ndarray,
+    gather_slots: int | None = None,
 ) -> np.ndarray:
     n = csr.num_nodes
     b = src.size
-    _check_block_envelope(b, n)
+    dt = indices_t.dtype
     size = b * n
     dist = np.full(size, -1, dtype=np.int32)
     if b == 0 or n == 0:
         return dist.reshape(b, n)
-    frontier = np.arange(b, dtype=np.int32) * n + src.astype(np.int32)
-    nodes = src.astype(np.int32)
+    frontier = np.arange(b, dtype=dt) * n + src.astype(dt)
+    nodes = src.astype(dt)
     dist[frontier] = 0
     level = 0
     indptr = csr.indptr
     while frontier.size:
-        nbr, _ = _gather_frontier(indptr, indices32, frontier, nodes, False)
-        fresh = nbr[dist[nbr] < 0]
-        if fresh.size == 0:
-            break
-        level += 1
-        dist[fresh] = level  # duplicate targets assign the same level
-        # next frontier: dedup via a sort of the fresh slots when they are
-        # few (high-diameter graphs: keeps each level linear in its edges)
-        # or one scan of the block state when they are not (flat
-        # expansions: cheaper than sorting a near-full gather)
-        if 8 * fresh.size < size:
-            frontier = np.unique(fresh)  # order irrelevant for distances
+        if gather_slots is not None:
+            fresh_total = _expand_sliced(
+                indptr, indices_t, frontier, nodes, dist, level + 1, gather_slots
+            )
+            if fresh_total == 0:
+                break
+            level += 1
+            frontier = np.flatnonzero(dist == level).astype(dt, copy=False)
         else:
-            frontier = np.flatnonzero(dist == level).astype(np.int32)
-        nodes = frontier % np.int32(n)
+            nbr, _ = _gather_frontier(indptr, indices_t, frontier, nodes, False)
+            fresh = nbr[dist[nbr] < 0]
+            if fresh.size == 0:
+                break
+            level += 1
+            dist[fresh] = level  # duplicate targets assign the same level
+            # next frontier: dedup via a sort of the fresh slots when they
+            # are few (high-diameter graphs: keeps each level linear in its
+            # edges) or one scan of the block state when they are not (flat
+            # expansions: cheaper than sorting a near-full gather)
+            if 8 * fresh.size < size:
+                frontier = np.unique(fresh)  # order irrelevant for distances
+            else:
+                frontier = np.flatnonzero(dist == level).astype(dt, copy=False)
+        nodes = frontier % dt.type(n)
     return dist.reshape(b, n)
+
+
+def _expand_sliced(
+    indptr: np.ndarray,
+    indices_t: np.ndarray,
+    frontier: np.ndarray,
+    nodes: np.ndarray,
+    dist: np.ndarray,
+    level: int,
+    gather_slots: int,
+) -> int:
+    """Expand one BFS level in gather segments of at most ``gather_slots``.
+
+    Marks freshly discovered composite ids with ``level`` in ``dist`` and
+    returns how many there were.  Later segments observe earlier segments'
+    marks, so each node is discovered exactly once per level and the
+    distances are identical to an unsegmented expansion.
+    """
+    csum = np.cumsum(indptr[nodes + 1] - indptr[nodes])
+    found = 0
+    start = 0
+    while start < frontier.size:
+        base = int(csum[start - 1]) if start else 0
+        stop = int(np.searchsorted(csum, base + max(gather_slots, 1), side="right"))
+        stop = min(max(stop, start + 1), frontier.size)
+        nbr, _ = _gather_frontier(
+            indptr, indices_t, frontier[start:stop], nodes[start:stop], False
+        )
+        fresh = nbr[dist[nbr] < 0]
+        if fresh.size:
+            dist[fresh] = level
+            found += fresh.size
+        start = stop
+    return found
 
 
 def pair_length_histogram(
@@ -322,6 +381,8 @@ def pair_length_histogram(
     sources: np.ndarray,
     batch_size: int | None = None,
     track_farthest: bool = True,
+    *,
+    gather_slots: int | None = None,
 ) -> tuple[np.ndarray, int]:
     """Histogram of positive finite BFS distances from ``sources``.
 
@@ -339,6 +400,9 @@ def pair_length_histogram(
     track_farthest:
         Skip the per-block argmax bookkeeping when ``False`` (exact
         sweeps never use it; saves one full scan per block).
+    gather_slots:
+        Per-level gather cap forwarded to the BFS (see
+        :func:`bfs_distance_block`); identical results, bounded transients.
 
     Returns
     -------
@@ -352,13 +416,16 @@ def pair_length_histogram(
     """
     src = _check_sources(csr, sources)
     step = batch_size or _block_size(csr, src.size, _DISTANCE_BLOCK_ENTRIES)
-    indices32 = csr.indices.astype(np.int32)
+    dt = _id_dtype(min(step, max(src.size, 1)), csr)
+    indices_t = csr.indices.astype(dt, copy=False)
     counts = np.zeros(1, dtype=np.int64)
     best_val = -1
     best_flat = -1
     n = csr.num_nodes
     for start in range(0, src.size, step):
-        block = _distance_block(csr, src[start : start + step], indices32)
+        block = _distance_block(
+            csr, src[start : start + step], indices_t, gather_slots=gather_slots
+        )
         lengths = block[block > 0]
         if lengths.size:
             bc = np.bincount(lengths)
@@ -430,13 +497,14 @@ def brandes_scores(
     n = csr.num_nodes
     acc = np.zeros(n, dtype=np.float64)
     step = batch_size or _block_size(csr, src.size, _BRANDES_BLOCK_ENTRIES)
-    indices32 = csr.indices.astype(np.int32)
+    dt = _id_dtype(min(step, max(src.size, 1)), csr)
+    indices_t = csr.indices.astype(dt, copy=False)
     for start in range(0, src.size, step):
         block = src[start : start + step]
         if block.size == 1:
-            _brandes_single(csr, int(block[0]), acc, indices32)
+            _brandes_single(csr, int(block[0]), acc, indices_t)
         else:
-            _brandes_block(csr, block, acc, indices32)
+            _brandes_block(csr, block, acc, indices_t)
     return acc
 
 
@@ -460,7 +528,7 @@ def _first_occurrences(values: np.ndarray) -> np.ndarray:
 
 
 def _brandes_single(
-    csr: CSRGraph, source: int, acc: np.ndarray, indices32: np.ndarray
+    csr: CSRGraph, source: int, acc: np.ndarray, indices_t: np.ndarray
 ) -> None:
     """Single-source sweep: ``_brandes_block`` minus the composite-id layer.
 
@@ -473,14 +541,15 @@ def _brandes_single(
     scatter/gather cache-resident.
     """
     n = csr.num_nodes
+    dt = indices_t.dtype
     indptr = csr.indptr
     dist = np.full(n, -1, dtype=np.int32)
     sigma = np.zeros(n, dtype=np.float64)
-    qpos = np.empty(n, dtype=np.int32)
+    qpos = np.empty(n, dtype=dt)
     dist[source] = 0
     sigma[source] = 1.0
     qpos[source] = 0
-    fronts = [np.asarray([source], dtype=np.int32)]
+    fronts = [np.asarray([source], dtype=dt)]
     rev_v: list[np.ndarray] = []
     rev_u: list[np.ndarray] = []
     rev_sigma_u: list[np.ndarray] = []
@@ -493,10 +562,10 @@ def _brandes_single(
         if total == 0:
             break
         ends = np.cumsum(counts)
-        offsets = (starts - (ends - counts)).astype(np.int32)
-        queue_ranks = np.arange(frontier.size, dtype=np.int32)
+        offsets = (starts - (ends - counts)).astype(dt)
+        queue_ranks = np.arange(frontier.size, dtype=dt)
         rep = np.repeat(np.stack((offsets, queue_ranks)), counts, axis=1)
-        nbr = indices32[np.arange(total, dtype=np.int32) + rep[0]]
+        nbr = indices_t[np.arange(total, dtype=dt) + rep[0]]
         owner = rep[1]  # queue position of each slot's frontier member
         dval = dist[nbr]
         if level:  # level 0 has no inbound DAG edges (and -1 means fresh)
@@ -513,7 +582,7 @@ def _brandes_single(
             break
         level += 1
         dist[frontier] = level
-        qpos[frontier] = np.arange(frontier.size, dtype=np.int32)
+        qpos[frontier] = np.arange(frontier.size, dtype=dt)
         sigma[frontier] += np.bincount(
             qpos[e_dst], weights=sigma_front[owner[fwd]], minlength=frontier.size
         )
@@ -533,20 +602,20 @@ def _brandes_single(
 
 
 def _brandes_block(
-    csr: CSRGraph, src: np.ndarray, acc: np.ndarray, indices32: np.ndarray
+    csr: CSRGraph, src: np.ndarray, acc: np.ndarray, indices_t: np.ndarray
 ) -> None:
     n = csr.num_nodes
     b = src.size
-    _check_block_envelope(b, n)
+    dt = indices_t.dtype
     size = b * n
     indptr = csr.indptr
     dist = np.full(size, -1, dtype=np.int32)
     sigma = np.zeros(size, dtype=np.float64)
-    qpos = np.empty(size, dtype=np.int32)  # composite id -> queue position
-    roots = np.arange(b, dtype=np.int32) * n + src.astype(np.int32)
+    qpos = np.empty(size, dtype=dt)  # composite id -> queue position
+    roots = np.arange(b, dtype=dt) * n + src.astype(dt)
     dist[roots] = 0
     sigma[roots] = 1.0
-    qpos[roots] = np.arange(b, dtype=np.int32)
+    qpos[roots] = np.arange(b, dtype=dt)
     fronts = [roots]  # per level, the frontier in BFS-queue order
     # DAG edges into level L, harvested sort-free from level L's own
     # expansion gather: a gathered slot (v at L, u at L-1) is the reverse
@@ -556,10 +625,10 @@ def _brandes_block(
     rev_u: list[np.ndarray] = []  # u as queue position in fronts[L - 1]
     rev_sigma_u: list[np.ndarray] = []  # sigma[u], final at harvest time
     frontier = roots
-    nodes = src.astype(np.int32)
+    nodes = src.astype(dt)
     level = 0
     while frontier.size:
-        nbr, src_rep = _gather_frontier(indptr, indices32, frontier, nodes, True)
+        nbr, src_rep = _gather_frontier(indptr, indices_t, frontier, nodes, True)
         dval = dist[nbr]
         if level:  # level 0 has no inbound DAG edges (and -1 means fresh)
             back = dval == level - 1
@@ -577,13 +646,13 @@ def _brandes_block(
             break
         level += 1
         dist[frontier] = level
-        qpos[frontier] = np.arange(frontier.size, dtype=np.int32)
+        qpos[frontier] = np.arange(frontier.size, dtype=dt)
         # sigma is integer-exact in float64, so bincount order is free here
         sigma[frontier] += np.bincount(
             qpos[e_dst], weights=sigma[src_rep[fwd]], minlength=frontier.size
         )
         fronts.append(frontier)
-        nodes = frontier % np.int32(n)
+        nodes = frontier % dt.type(n)
 
     delta = np.zeros(size, dtype=np.float64)
     for depth in range(len(rev_v), 0, -1):

@@ -34,13 +34,65 @@ the round trip that the equivalence tests assert.
 from __future__ import annotations
 
 from collections import Counter
-from collections.abc import Iterator
+from collections.abc import Iterator, Mapping
 
 import numpy as np
 from scipy import sparse
 
 from repro.errors import GraphError
 from repro.graph.multigraph import MultiGraph, Node
+
+#: Index dtypes a snapshot may carry.  ``freeze`` always produces int64;
+#: the snapshot store (:mod:`repro.engine.store`) loads int32 indices
+#: zero-copy when every node id fits, and the kernels accept either.
+_INDEX_DTYPES = (np.dtype(np.int32), np.dtype(np.int64))
+
+
+def _frozen_index_array(arr: np.ndarray, *, widen: bool = False) -> np.ndarray:
+    """Contiguous read-only index array, without copying when possible.
+
+    ``widen=True`` forces int64 (the ``indptr`` contract); otherwise int32
+    input is kept as-is so mmap/shared-memory snapshots stay zero-copy.
+    """
+    if widen or arr.dtype not in _INDEX_DTYPES:
+        out = np.ascontiguousarray(arr, dtype=np.int64)
+    else:
+        out = np.ascontiguousarray(arr)
+    if out.flags.writeable and out is not arr:
+        out.setflags(write=False)
+    elif out.flags.writeable:
+        out = out.view()
+        out.setflags(write=False)
+    return out
+
+
+class _RangeIndex(Mapping):
+    """O(1) node-id -> position mapping for graphs labeled ``0..n-1``.
+
+    Store-loaded and shared-memory snapshots carry their nodes implicitly
+    as ``range(n)``; materializing an n-entry dict on attach would make
+    "zero-copy" attach O(n) in Python, so this stands in for the dict.
+    """
+
+    __slots__ = ("_n",)
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+
+    def __getitem__(self, u: Node) -> int:
+        if (
+            isinstance(u, (int, np.integer))
+            and not isinstance(u, bool)
+            and 0 <= u < self._n
+        ):
+            return int(u)
+        raise KeyError(u)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(range(self._n))
+
+    def __len__(self) -> int:
+        return self._n
 
 
 class CSRGraph:
@@ -58,17 +110,21 @@ class CSRGraph:
         "_indptr",
         "_indices",
         "_num_edges",
+        "_degree_cache",
         "_adjacency_cache",
         "_triangle_cache",
         "_lcc_cache",
+        "__weakref__",
     )
 
     def __init__(
         self,
-        nodes: tuple[Node, ...],
+        nodes: tuple[Node, ...] | range,
         indptr: np.ndarray,
         indices: np.ndarray,
         num_edges: int,
+        *,
+        degree: np.ndarray | None = None,
     ) -> None:
         if indptr.shape != (len(nodes) + 1,):
             raise GraphError("indptr must have num_nodes + 1 entries")
@@ -77,12 +133,18 @@ class CSRGraph:
         if indices.shape[0] != 2 * num_edges:
             raise GraphError("slot count must equal 2 * num_edges")
         self._nodes = nodes
-        self._index: dict[Node, int] = {u: i for i, u in enumerate(nodes)}
-        self._indptr = np.ascontiguousarray(indptr, dtype=np.int64)
-        self._indices = np.ascontiguousarray(indices, dtype=np.int64)
-        self._indptr.setflags(write=False)
-        self._indices.setflags(write=False)
+        if isinstance(nodes, range):
+            if nodes != range(len(nodes)):
+                raise GraphError("range nodes must be exactly range(num_nodes)")
+            self._index: Mapping[Node, int] = _RangeIndex(len(nodes))
+        else:
+            self._index = {u: i for i, u in enumerate(nodes)}
+        self._indptr = _frozen_index_array(indptr, widen=True)
+        self._indices = _frozen_index_array(indices)
         self._num_edges = int(num_edges)
+        if degree is not None and degree.shape != (len(nodes),):
+            raise GraphError("degree vector must have num_nodes entries")
+        self._degree_cache = degree
         self._adjacency_cache: dict[bool, sparse.csr_matrix] = {}
         self._triangle_cache: np.ndarray | None = None
         self._lcc_cache: "CSRGraph | None" = None
@@ -101,12 +163,12 @@ class CSRGraph:
         return self._num_edges
 
     @property
-    def node_list(self) -> tuple[Node, ...]:
+    def node_list(self) -> tuple[Node, ...] | range:
         """Positional index -> original node id."""
         return self._nodes
 
     @property
-    def index(self) -> dict[Node, int]:
+    def index(self) -> Mapping[Node, int]:
         """Original node id -> positional index."""
         return self._index
 
@@ -117,11 +179,13 @@ class CSRGraph:
 
     @property
     def indices(self) -> np.ndarray:
-        """Read-only ``int64[2m]`` edge-slot endpoint indices."""
+        """Read-only ``int64[2m]`` (or ``int32[2m]``) edge-slot endpoints."""
         return self._indices
 
     def degree_array(self) -> np.ndarray:
         """``int64[n]`` degree vector (loops contribute 2)."""
+        if self._degree_cache is not None:
+            return self._degree_cache
         return np.diff(self._indptr)
 
     def neighbor_slots(self, i: int) -> np.ndarray:

@@ -58,8 +58,10 @@ AUTO_EDGE_THRESHOLD = 20_000
 #: engine construction (freeze, triangle kernel, candidate arrays) before
 #: its batched windows win; the pure dict degree count is memory-light
 #: enough that the freeze share only pays off beyond the calibrated range;
-#: and few-walker batched walks are dominated by per-round stepping
-#: overhead, so only huge graphs route there automatically.
+#: and few-walker batched walks pay a fresh freeze per cell in the cost
+#: model, so only large graphs route there automatically — though the
+#: vectorized visited-matrix accounting narrowed the top-of-range gap
+#: from ~6x to ~4x, which is what moved the extrapolated break-even down.
 AUTO_KERNEL_THRESHOLDS: dict[str, int] = {
     "degree": 100_000,
     "jdm": 500,
@@ -70,7 +72,7 @@ AUTO_KERNEL_THRESHOLDS: dict[str, int] = {
     "spectral": 500,
     "paths": 500,
     "betweenness": 500,
-    "walks": 200_000,
+    "walks": 100_000,
     "rewiring": 20_000,
 }
 

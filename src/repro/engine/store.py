@@ -1,0 +1,543 @@
+"""Snapshot store: flat-buffer CSR layout, shared memory, and mmap.
+
+One canonical byte layout serves three transports:
+
+* ``save_snapshot`` / ``load_snapshot(mode="ram")`` — an on-disk snapshot
+  that round-trips a frozen :class:`~repro.engine.csr.CSRGraph` exactly
+  (same arrays, same dtypes, same node tuple).
+* ``load_snapshot(mode="mmap")`` — the same file opened through
+  :class:`numpy.memmap` read-only views, so a snapshot far beyond RAM
+  streams through the kernels page by page (copy-on-nothing).
+* :class:`SharedSnapshot` — the same bytes published into
+  :class:`multiprocessing.shared_memory.SharedMemory` so pool workers
+  attach zero-copy instead of rebuilding dataset + freeze per process.
+
+Layout (offsets 64-byte aligned)::
+
+    [ 0:64]   header: magic "RCSR", version, index dtype code (4|8),
+              nodes code (0 = implicit range(n), 1 = pickled tuple),
+              n, m, nodes-blob length, section offsets, total size
+    [64:..]   nodes blob (empty when nodes are implicitly 0..n-1)
+    [a:b]     indptr  int64[n + 1]
+    [b:c]     indices int32[2m] or int64[2m] (int32 whenever every node
+              position fits — the common case below 2**31 nodes)
+    [c:d]     degree  int64[n]
+
+``freeze_stream`` writes the same file format for graphs that never fit
+in RAM: a counting pass over a re-iterable edge-chunk stream builds
+``indptr``/``degree``, then the slot array is scattered bucket by bucket
+through a bounded read-write ``memmap`` window, so peak memory is the
+bucket budget plus the per-node vectors — never O(m).
+
+Attach lifecycle: workers go through :func:`attach` / :func:`detach`, a
+process-local refcounted registry.  Segments are opened untracked (the
+owner's resource tracker is the only one responsible for the name, so
+attaching processes produce no leak warnings and never unlink a segment
+they do not own), and the backing map is closed by a finalizer when the
+last live graph built on it is garbage collected — never while a numpy
+view could still reach the buffer.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import weakref
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.csr import CSRGraph
+from repro.errors import GraphError, StoreError
+
+_MAGIC = b"RCSR"
+_VERSION = 1
+_ALIGN = 64
+# magic, version, index-dtype itemsize, nodes code, then
+# n, m, nodes-blob bytes, indptr/indices/degree offsets, total bytes
+_HEADER = struct.Struct("<4sHBB7Q")
+assert _HEADER.size <= _ALIGN
+
+_NODES_IMPLICIT = 0
+_NODES_PICKLED = 1
+
+_INT32_MAX = int(np.iinfo(np.int32).max)
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class _Layout:
+    """Resolved byte layout for one snapshot."""
+
+    num_nodes: int
+    num_edges: int
+    index_dtype: np.dtype
+    nodes_blob: bytes
+    off_indptr: int
+    off_indices: int
+    off_degree: int
+    total: int
+
+    def header(self) -> bytes:
+        head = _HEADER.pack(
+            _MAGIC,
+            _VERSION,
+            self.index_dtype.itemsize,
+            _NODES_IMPLICIT if not self.nodes_blob else _NODES_PICKLED,
+            self.num_nodes,
+            self.num_edges,
+            len(self.nodes_blob),
+            self.off_indptr,
+            self.off_indices,
+            self.off_degree,
+            self.total,
+        )
+        return head.ljust(_ALIGN, b"\0")
+
+
+def index_dtype_for(num_nodes: int) -> np.dtype:
+    """Stored dtype of the slot array: int32 whenever node positions fit."""
+    return np.dtype(np.int32 if num_nodes <= _INT32_MAX else np.int64)
+
+
+def _nodes_are_implicit(nodes) -> bool:
+    if isinstance(nodes, range):
+        return nodes == range(len(nodes))
+    return all(type(u) is int and u == i for i, u in enumerate(nodes))
+
+
+def _layout_for(
+    num_nodes: int, num_edges: int, nodes_blob: bytes
+) -> _Layout:
+    dtype = index_dtype_for(num_nodes)
+    off_indptr = _align(_ALIGN + len(nodes_blob))
+    off_indices = _align(off_indptr + (num_nodes + 1) * 8)
+    off_degree = _align(off_indices + 2 * num_edges * dtype.itemsize)
+    total = off_degree + num_nodes * 8
+    return _Layout(
+        num_nodes=num_nodes,
+        num_edges=num_edges,
+        index_dtype=dtype,
+        nodes_blob=nodes_blob,
+        off_indptr=off_indptr,
+        off_indices=off_indices,
+        off_degree=off_degree,
+        total=total,
+    )
+
+
+def plan_layout(csr: CSRGraph) -> _Layout:
+    """Byte layout that :func:`save_snapshot` / ``SharedSnapshot`` use."""
+    nodes = csr.node_list
+    if _nodes_are_implicit(nodes):
+        blob = b""
+    else:
+        blob = pickle.dumps(tuple(nodes), protocol=pickle.HIGHEST_PROTOCOL)
+    return _layout_for(csr.num_nodes, csr.num_edges, blob)
+
+
+def snapshot_nbytes(csr: CSRGraph) -> int:
+    """Total bytes of the flat-buffer serialization of ``csr``."""
+    return plan_layout(csr).total
+
+
+def _write_into(buf: memoryview, csr: CSRGraph, layout: _Layout) -> None:
+    buf[0:_ALIGN] = layout.header()
+    if layout.nodes_blob:
+        buf[_ALIGN : _ALIGN + len(layout.nodes_blob)] = layout.nodes_blob
+    n, m = layout.num_nodes, layout.num_edges
+    indptr = np.ndarray((n + 1,), np.int64, buffer=buf, offset=layout.off_indptr)
+    indptr[:] = csr.indptr
+    indices = np.ndarray(
+        (2 * m,), layout.index_dtype, buffer=buf, offset=layout.off_indices
+    )
+    indices[:] = csr.indices
+    degree = np.ndarray((n,), np.int64, buffer=buf, offset=layout.off_degree)
+    degree[:] = csr.degree_array()
+
+
+def _parse_header(head: bytes, origin: str) -> tuple:
+    if len(head) < _HEADER.size:
+        raise StoreError(f"{origin}: truncated snapshot header")
+    (magic, version, itemsize, nodes_code, n, m, nodes_len, off_indptr,
+     off_indices, off_degree, total) = _HEADER.unpack_from(head)
+    if magic != _MAGIC:
+        raise StoreError(f"{origin}: not a CSR snapshot (bad magic)")
+    if version != _VERSION:
+        raise StoreError(f"{origin}: unsupported snapshot version {version}")
+    if itemsize not in (4, 8):
+        raise StoreError(f"{origin}: unsupported index itemsize {itemsize}")
+    if nodes_code not in (_NODES_IMPLICIT, _NODES_PICKLED):
+        raise StoreError(f"{origin}: unknown nodes encoding {nodes_code}")
+    dtype = np.dtype(np.int32 if itemsize == 4 else np.int64)
+    return (dtype, nodes_code, n, m, nodes_len, off_indptr, off_indices,
+            off_degree, total)
+
+
+def _nodes_from_blob(nodes_code: int, blob: bytes, n: int, *, ram: bool):
+    if nodes_code == _NODES_IMPLICIT:
+        # ram loads materialize the tuple so equality with freeze() holds;
+        # mmap/shm attach keeps range(n) so attach stays O(1) in Python
+        return tuple(range(n)) if ram else range(n)
+    return pickle.loads(blob)
+
+
+def _read_from(buf: memoryview, origin: str) -> CSRGraph:
+    """Zero-copy CSRGraph over ``buf`` (shared-memory attach path)."""
+    (dtype, nodes_code, n, m, nodes_len, off_indptr, off_indices,
+     off_degree, total) = _parse_header(bytes(buf[:_ALIGN]), origin)
+    if len(buf) < total:
+        raise StoreError(f"{origin}: snapshot buffer shorter than layout")
+    nodes = _nodes_from_blob(
+        nodes_code, bytes(buf[_ALIGN : _ALIGN + nodes_len]), n, ram=False
+    )
+    indptr = np.ndarray((n + 1,), np.int64, buffer=buf, offset=off_indptr)
+    indices = np.ndarray((2 * m,), dtype, buffer=buf, offset=off_indices)
+    degree = np.ndarray((n,), np.int64, buffer=buf, offset=off_degree)
+    for arr in (indptr, indices, degree):
+        arr.setflags(write=False)
+    return CSRGraph(nodes, indptr, indices, m, degree=degree)
+
+
+# ----------------------------------------------------------------------
+# on-disk snapshots
+# ----------------------------------------------------------------------
+def save_snapshot(csr: CSRGraph, path: str | Path) -> Path:
+    """Serialize ``csr`` to ``path`` in the flat-buffer layout."""
+    path = Path(path)
+    layout = plan_layout(csr)
+    with open(path, "wb") as f:
+        f.write(layout.header())
+        f.write(layout.nodes_blob)
+        f.seek(layout.off_indptr)
+        np.ascontiguousarray(csr.indptr, dtype=np.int64).tofile(f)
+        f.seek(layout.off_indices)
+        np.ascontiguousarray(csr.indices, dtype=layout.index_dtype).tofile(f)
+        f.seek(layout.off_degree)
+        np.ascontiguousarray(csr.degree_array(), dtype=np.int64).tofile(f)
+        f.truncate(layout.total)
+    return path
+
+
+def load_snapshot(path: str | Path, mode: str = "ram") -> CSRGraph:
+    """Load a snapshot written by :func:`save_snapshot` or ``freeze_stream``.
+
+    ``mode="ram"`` reads the arrays into memory and upcasts int32 indices
+    back to int64 so the result is array- and dtype-identical to
+    :func:`~repro.engine.csr.freeze` of the same graph.  ``mode="mmap"``
+    wraps the file in read-only :class:`numpy.memmap` views instead —
+    nothing is copied, pages fault in on demand, and the snapshot may be
+    orders of magnitude larger than RAM.
+    """
+    path = Path(path)
+    if mode not in ("ram", "mmap"):
+        raise StoreError(f"unknown snapshot mode {mode!r}")
+    with open(path, "rb") as f:
+        (dtype, nodes_code, n, m, nodes_len, off_indptr, off_indices,
+         off_degree, total) = _parse_header(f.read(_ALIGN), str(path))
+        blob = f.read(nodes_len) if nodes_code == _NODES_PICKLED else b""
+        if mode == "ram":
+            nodes = _nodes_from_blob(nodes_code, blob, n, ram=True)
+            f.seek(off_indptr)
+            indptr = np.fromfile(f, np.int64, n + 1)
+            f.seek(off_indices)
+            indices = np.fromfile(f, dtype, 2 * m).astype(np.int64, copy=False)
+            f.seek(off_degree)
+            degree = np.fromfile(f, np.int64, n)
+            if indptr.size != n + 1 or indices.size != 2 * m or degree.size != n:
+                raise StoreError(f"{path}: truncated snapshot sections")
+            degree.setflags(write=False)
+            return CSRGraph(nodes, indptr, indices, m, degree=degree)
+    nodes = _nodes_from_blob(nodes_code, blob, n, ram=False)
+    indptr = _ro_memmap(path, np.int64, off_indptr, n + 1)
+    indices = _ro_memmap(path, dtype, off_indices, 2 * m)
+    degree = _ro_memmap(path, np.int64, off_degree, n)
+    return CSRGraph(nodes, indptr, indices, m, degree=degree)
+
+
+def _ro_memmap(path: Path, dtype, offset: int, count: int) -> np.ndarray:
+    if count == 0:  # np.memmap rejects empty maps
+        out = np.empty(0, dtype=dtype)
+        out.setflags(write=False)
+        return out
+    return np.memmap(path, dtype, mode="r", offset=offset, shape=(count,))
+
+
+# ----------------------------------------------------------------------
+# chunked out-of-core freeze
+# ----------------------------------------------------------------------
+def freeze_stream(
+    path: str | Path,
+    num_nodes: int,
+    edge_chunks: Callable[[], Iterable[tuple[np.ndarray, np.ndarray]]],
+    *,
+    ram_budget: int = 256 * 1024 * 1024,
+) -> Path:
+    """Freeze an edge stream to an on-disk snapshot in bounded memory.
+
+    ``edge_chunks`` is a zero-argument callable returning a fresh iterable
+    of ``(u, v)`` endpoint-array chunks; it is re-invoked once for the
+    degree-counting pass and once per scatter bucket, so the stream must
+    be re-iterable (a seeded generator, a file reader, ...).  Node ids
+    must already be ``0..num_nodes-1`` integers.
+
+    Peak memory is ``O(num_nodes)`` vectors plus one chunk plus a dirty
+    memmap window of at most ``ram_budget // 2`` bytes — never ``O(m)``.
+    Per-node slot order is stream order (chunk-major, ``u->v`` direction
+    before ``v->u`` within a chunk), which differs from :func:`freeze`'s
+    adjacency-dict order; every multiplicity-level property is identical.
+    """
+    path = Path(path)
+    n = int(num_nodes)
+    if n < 0:
+        raise GraphError("num_nodes must be non-negative")
+
+    degree = np.zeros(n, dtype=np.int64)
+    slots = 0
+    for u, v in edge_chunks():
+        u = np.asarray(u)
+        v = np.asarray(v)
+        if u.shape != v.shape:
+            raise GraphError("edge chunk endpoint arrays differ in shape")
+        if u.size == 0:
+            continue
+        for side in (u, v):
+            if int(side.min()) < 0 or int(side.max()) >= n:
+                raise GraphError("edge chunk references node outside 0..n-1")
+        degree += np.bincount(u, minlength=n)
+        degree += np.bincount(v, minlength=n)
+        slots += 2 * u.size
+    if slots % 2:  # unreachable: every chunk adds an even count
+        raise GraphError("edge stream produced an odd slot count")
+    m = slots // 2
+
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degree, out=indptr[1:])
+    layout = _layout_for(n, m, b"")
+    itemsize = layout.index_dtype.itemsize
+    with open(path, "wb") as f:
+        f.write(layout.header())
+        f.seek(layout.off_indptr)
+        indptr.tofile(f)
+        f.seek(layout.off_degree)
+        degree.tofile(f)
+        f.truncate(layout.total)
+
+    # bucket the node range so each scatter window's slot bytes fit the
+    # budget; each bucket re-reads the stream and fills its own window
+    window = max(ram_budget // 2, _ALIGN)
+    bounds = [0]
+    while bounds[-1] < n:
+        lo = bounds[-1]
+        target = indptr[lo] * itemsize + window
+        hi = int(np.searchsorted(indptr * itemsize, target, side="right")) - 1
+        bounds.append(min(max(hi, lo + 1), n))
+    for lo, hi in zip(bounds, bounds[1:]):
+        first, last = int(indptr[lo]), int(indptr[hi])
+        if first == last:
+            continue
+        mm = np.memmap(
+            path,
+            layout.index_dtype,
+            mode="r+",
+            offset=layout.off_indices + first * itemsize,
+            shape=(last - first,),
+        )
+        cursor = np.ascontiguousarray(indptr[lo:hi]) - first
+        for u, v in edge_chunks():
+            u = np.asarray(u)
+            v = np.asarray(v)
+            _scatter_chunk(mm, cursor, lo, hi, u, v, layout.index_dtype)
+            _scatter_chunk(mm, cursor, lo, hi, v, u, layout.index_dtype)
+        if not np.array_equal(cursor, indptr[lo + 1 : hi + 1] - first):
+            raise StoreError(
+                "edge stream changed between freeze_stream passes"
+            )
+        mm.flush()
+        del mm  # unmap: releases the window's dirty pages from RSS
+    return path
+
+
+def _scatter_chunk(
+    mm: np.memmap,
+    cursor: np.ndarray,
+    lo: int,
+    hi: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    dtype: np.dtype,
+) -> None:
+    mask = (src >= lo) & (src < hi)
+    if not mask.any():
+        return
+    s = src[mask].astype(np.int64, copy=False) - lo
+    d = dst[mask]
+    order = np.argsort(s, kind="stable")
+    s = s[order]
+    d = d[order]
+    counts = np.bincount(s, minlength=hi - lo)
+    starts = np.cumsum(counts) - counts
+    # occurrence rank of each row within its node, preserving stream order
+    occ = np.arange(s.size, dtype=np.int64) - np.repeat(starts, counts)
+    mm[cursor[s] + occ] = d.astype(dtype, copy=False)
+    cursor += counts
+
+
+# ----------------------------------------------------------------------
+# shared-memory publication and attach registry
+# ----------------------------------------------------------------------
+def _open_attached(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without registering it with the tracker.
+
+    Attaching processes must not register the segment: the owner is the
+    only unlinker, and because the whole process tree shares one resource
+    tracker, a tracked attach would either warn about "leaked" memory at
+    exit or (via the unregister workaround) silently drop the *owner's*
+    registration.  Python 3.13 has ``track=False`` for exactly this;
+    earlier interpreters need registration suppressed during the open.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track flag
+        pass
+    except FileNotFoundError:
+        raise StoreError(f"shared snapshot {name!r} does not exist") from None
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        raise StoreError(f"shared snapshot {name!r} does not exist") from None
+    finally:
+        resource_tracker.register = original
+
+
+def _quiet_cleanup(shm: shared_memory.SharedMemory, *, unlink: bool) -> None:
+    try:
+        shm.close()
+    except BufferError:  # a view outlived us; the OS reaps the map at exit
+        pass
+    except Exception:
+        pass
+    if unlink:
+        try:
+            shm.unlink()
+        except Exception:
+            pass
+
+
+class SharedSnapshot:
+    """Owner handle for a snapshot published into shared memory.
+
+    The creating process owns the segment: :meth:`close` (or garbage
+    collection, or interpreter exit) unlinks it exactly once.  Workers
+    never construct this class — they call :func:`attach` with
+    :attr:`name` and get a read-only zero-copy :class:`CSRGraph`.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory) -> None:
+        self._shm = shm
+        self._graph: CSRGraph | None = None
+        self._finalizer = weakref.finalize(
+            self, _quiet_cleanup, shm, unlink=True
+        )
+
+    @classmethod
+    def create(cls, csr: CSRGraph, name: str | None = None) -> "SharedSnapshot":
+        layout = plan_layout(csr)
+        size = max(layout.total, 1)
+        shm = shared_memory.SharedMemory(create=True, size=size, name=name)
+        try:
+            _write_into(shm.buf, csr, layout)
+        except BaseException:
+            _quiet_cleanup(shm, unlink=True)
+            raise
+        return cls(shm)
+
+    @property
+    def name(self) -> str:
+        """Segment name workers pass to :func:`attach`."""
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def graph(self) -> CSRGraph:
+        """Zero-copy read-only view of the published snapshot."""
+        if self._graph is None:
+            self._graph = _read_from(self._shm.buf, f"shm:{self.name}")
+        return self._graph
+
+    def close(self) -> None:
+        """Unlink the segment (idempotent).
+
+        Attached workers keep their mappings until they detach or exit;
+        the kernel frees the memory when the last mapping goes.
+        """
+        self._graph = None
+        self._finalizer()
+
+    def __enter__(self) -> "SharedSnapshot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _Attachment:
+    __slots__ = ("shm", "graph", "refs")
+
+    def __init__(self, shm: shared_memory.SharedMemory, graph: CSRGraph) -> None:
+        self.shm = shm
+        self.graph = graph
+        self.refs = 1
+
+
+_ATTACHED: dict[str, _Attachment] = {}
+
+
+def attach(name: str) -> CSRGraph:
+    """Attach to a published snapshot; returns a read-only zero-copy graph.
+
+    Repeated attaches of the same segment in one process share a single
+    mapping and bump a refcount; :func:`detach` drops it.  The mapping
+    itself is closed by a finalizer once the last graph built on it is
+    garbage collected, so callers can never hit ``BufferError`` by
+    holding arrays across a detach.
+    """
+    ent = _ATTACHED.get(name)
+    if ent is not None:
+        ent.refs += 1
+        return ent.graph
+    shm = _open_attached(name)
+    try:
+        graph = _read_from(shm.buf, f"shm:{name}")
+    except BaseException:
+        _quiet_cleanup(shm, unlink=False)
+        raise
+    weakref.finalize(graph, _quiet_cleanup, shm, unlink=False)
+    _ATTACHED[name] = _Attachment(shm, graph)
+    return graph
+
+
+def detach(name: str) -> None:
+    """Drop one reference to an attached snapshot."""
+    ent = _ATTACHED.get(name)
+    if ent is None:
+        raise StoreError(f"snapshot {name!r} is not attached in this process")
+    ent.refs -= 1
+    if ent.refs <= 0:
+        del _ATTACHED[name]
+        ent.graph = None  # finalizer closes the map once views die
+
+
+def attached_segments() -> tuple[str, ...]:
+    """Names of the segments currently attached in this process."""
+    return tuple(_ATTACHED)

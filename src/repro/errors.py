@@ -45,6 +45,11 @@ class EngineError(ReproError):
     """Raised by the array engine for unknown backends or invalid kernels."""
 
 
+class StoreError(EngineError):
+    """Raised by the snapshot store (:mod:`repro.engine.store`) for corrupt
+    or incompatible snapshot buffers and shared-memory lifecycle misuse."""
+
+
 class ServiceError(ReproError):
     """Raised by the serving layer (:mod:`repro.service`) for request
     failures that are not covered by a more specific library error."""

@@ -132,6 +132,48 @@ _TRUTH_LIMIT: int | None = None
 # cache-hit metric built on it would lie.
 _POOL_TRUTH_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
+# Shared-memory dataset snapshots installed into this process by the pool
+# initializer (:func:`repro.api.workers.pool_worker_init`): zero-copy
+# read-only CSR graphs keyed like the dataset registry.  When a work-item
+# names one, :func:`_materialize_cell` serves the crawl graph from here
+# instead of rebuilding dataset + freeze in every worker.  Values are
+# CSRGraphs but typed loosely to keep this module's import graph free of
+# the engine.
+_SHARED_DATASETS: dict[tuple[str, float], object] = {}
+
+
+def install_shared_dataset(
+    dataset: str,
+    scale: float,
+    graph: object,
+    truths: "tuple[tuple[EvaluationConfig, PropertySet], ...]" = (),
+) -> None:
+    """Register an attached shared-memory snapshot (and pre-seed truths).
+
+    Called by the pool-worker initializer with the graph it attached and
+    the truth PropertySets the parent computed; later work-items naming
+    ``(dataset, scale)`` crawl the shared graph and find their truth in
+    the memo (counted as hits — the memo *was* pre-populated, the exact
+    evaluation genuinely ran only once, parent-side).
+    """
+    _SHARED_DATASETS[(dataset, scale)] = graph
+    for evaluation, truth in truths:
+        _TRUTH_MEMO[(dataset, scale, evaluation)] = truth
+        _TRUTH_MEMO.move_to_end((dataset, scale, evaluation))
+    _evict_to_limit()
+
+
+def shared_dataset_graph(dataset: str, scale: float):
+    """The shared snapshot installed for ``(dataset, scale)``, if any."""
+    return _SHARED_DATASETS.get((dataset, scale))
+
+
+def clear_shared_datasets() -> None:
+    """Forget installed shared snapshots (tests; the registry holds no
+    shared-memory resources itself — attachments are refcounted by the
+    store and reaped when the graphs are garbage collected)."""
+    _SHARED_DATASETS.clear()
+
 
 def set_truth_cache_limit(limit: int | None) -> None:
     """Bound the per-process truth memo to ``limit`` entries (LRU).
@@ -323,9 +365,39 @@ def execute_run(
     config, run_seed, context = payload
     if context is not None:
         config = context.configure(config)
-    graph = load_dataset(config.dataset, scale=config.scale)
-    truth = cell_truth(config, graph)
+    graph, truth = _materialize_cell(config)
     return _run_once(graph, truth, config, run_seed)
+
+
+def _materialize_cell(config: ExperimentConfig):
+    """Resolve a cell's (crawl graph, truth PropertySet) pair.
+
+    The crawl graph is the shared-memory snapshot when one is installed
+    for the cell's ``(dataset, scale)`` — the crawlers touch graphs only
+    through the :class:`~repro.sampling.access.GraphAccess` neighbor-query
+    surface, which the zero-copy snapshot serves with identical node
+    order and identical incident-endpoint lists, so the crawl is
+    bit-identical to one over the mutable dataset.  The truth comes from
+    the memo (pre-seeded by the parent for shared datasets); when a
+    shared graph exists but this evaluation's truth was not shipped (a
+    service worker seeing a new request shape), the truth is computed
+    from the *mutable* dataset on the canonical path — evaluating the 12
+    properties on the snapshot directly would let ``backend="auto"``
+    resolve differently than the serial reference and break bit-identity.
+    """
+    shared = _SHARED_DATASETS.get((config.dataset, config.scale))
+    if shared is not None:
+        evaluation = config.evaluation_config()
+        key = (config.dataset, config.scale, evaluation)
+        cached = _TRUTH_MEMO.get(key)
+        if cached is not None:
+            _TRUTH_STATS["hits"] += 1
+            _TRUTH_MEMO.move_to_end(key)
+            return shared, cached
+        graph = load_dataset(config.dataset, scale=config.scale)
+        return shared, cell_truth(config, graph)
+    graph = load_dataset(config.dataset, scale=config.scale)
+    return graph, cell_truth(config, graph)
 
 
 def _truth_stats_delta(fn, payload):

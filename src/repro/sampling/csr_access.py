@@ -133,6 +133,13 @@ def _advance(
         raise SamplingError(str(exc)) from None
 
 
+#: Ceiling on the walker x node visited-matrix the vectorized accounting
+#: allocates (bool, one byte per cell).  Above it — huge snapshots crossed
+#: with many walkers — the per-walker-set path keeps memory linear in the
+#: number of *visited* nodes instead.
+_SEEN_MATRIX_BYTES = 256 * 1024 * 1024
+
+
 def independent_batched_walks(
     graph: MultiGraph | CSRGraph,
     num_walks: int,
@@ -144,14 +151,18 @@ def independent_batched_walks(
     """Run ``num_walks`` *independent* walks from one frozen snapshot.
 
     Unlike :meth:`CSRGraphAccess.batched_walks` — whose walkers share one
-    query account and stop on a combined budget — each walker here gets
-    its own :class:`CSRGraphAccess` (own memoization, own distinct-node
-    count) and stops when *it* has queried ``target_queried`` distinct
-    nodes, exactly the per-run semantics of
-    :func:`repro.sampling.walkers.random_walk`.  All still-active walkers
-    advance with one vectorized uniform-incident-edge draw per round, and
-    the hidden graph is frozen exactly once, so an experiment cell's
-    independent rounds stop re-crawling the dict-of-dicts per round.
+    query account and stop on a combined budget — each walker here keeps
+    its own distinct-node count and stops when *it* has queried
+    ``target_queried`` distinct nodes, exactly the per-run semantics of
+    :func:`repro.sampling.walkers.random_walk`.  The whole round is array
+    work: one vectorized uniform-incident-edge draw advances every
+    still-active walker, and the per-round record/query accounting — the
+    measured reason batched walks used to lose to sequential Python at
+    small sizes — is a boolean visited-matrix update instead of a scalar
+    loop.  The :class:`SamplingList` per walker (visit sequence plus
+    first-visit-ordered neighbor lists) is reconstructed once at the end,
+    identical to what per-visit ``record``/``query`` calls would have
+    built.
 
     Returns one :class:`SamplingList` per walker, each with exactly
     ``target_queried`` distinct queried nodes (graph permitting).
@@ -159,23 +170,96 @@ def independent_batched_walks(
     csr = ensure_csr(graph)
     gen = ensure_generator(rng)
     current = _start_positions(csr, num_walks, seeds, gen)
-    accesses = [CSRGraphAccess(csr) for _ in range(num_walks)]
     cap = max_steps if max_steps is not None else 1000 * max(target_queried, 1)
-    walks = [SamplingList() for _ in range(num_walks)]
-    active = list(range(num_walks))
-    node_list = csr.node_list
+    n = csr.num_nodes
+    if num_walks * n > _SEEN_MATRIX_BYTES:
+        return _independent_walks_sets(
+            csr, num_walks, target_queried, current, gen, cap
+        )
+    seen = np.zeros((num_walks, n), dtype=bool)
+    counts = np.zeros(num_walks, dtype=np.int64)
+    active = np.arange(num_walks, dtype=np.int64)
+    visits_walker: list[np.ndarray] = []
+    visits_node: list[np.ndarray] = []
     for _ in range(cap):
+        visits_walker.append(active)
+        visits_node.append(current)
+        fresh = ~seen[active, current]
+        seen[active, current] = True
+        counts[active] += fresh
+        keep = counts[active] < target_queried
+        if not keep.any():
+            return _collect_walks(csr, num_walks, visits_walker, visits_node)
+        active = active[keep]
+        current = _advance(csr, current[keep], gen)
+    raise SamplingError(
+        f"independent batched walks did not reach {target_queried} distinct "
+        f"nodes within {cap} rounds (graph too small or disconnected?)"
+    )
+
+
+def _collect_walks(
+    csr: CSRGraph,
+    num_walks: int,
+    visits_walker: list[np.ndarray],
+    visits_node: list[np.ndarray],
+) -> list[SamplingList]:
+    """Rebuild per-walker sampling lists from the round-major visit log.
+
+    A stable sort by walker id turns the round-major log into per-walker
+    visit sequences (within a walker, stable keeps round order), and
+    ``np.unique``'s first-occurrence indices recover the order in which a
+    per-visit ``record`` would have inserted the neighbor lists.
+    """
+    all_walker = np.concatenate(visits_walker)
+    all_node = np.concatenate(visits_node)
+    order = np.argsort(all_walker, kind="stable")
+    per_walker = np.bincount(all_walker, minlength=num_walks)
+    splits = np.cumsum(per_walker)[:-1]
+    node_list = csr.node_list
+    implicit = isinstance(node_list, range)
+    walks = []
+    for seq in np.split(all_node[order], splits):
+        positions = seq.tolist()
+        nodes = positions if implicit else [node_list[i] for i in positions]
+        uniq, first = np.unique(seq, return_index=True)
+        neighbors: dict[Node, list[Node]] = {}
+        for i in uniq[np.argsort(first, kind="stable")].tolist():
+            neighbors[node_list[i]] = csr.incident_edge_endpoints(node_list[i])
+        walks.append(SamplingList(nodes=nodes, neighbors=neighbors))
+    return walks
+
+
+def _independent_walks_sets(
+    csr: CSRGraph,
+    num_walks: int,
+    target_queried: int,
+    current: np.ndarray,
+    gen: np.random.Generator,
+    cap: int,
+) -> list[SamplingList]:
+    """Set-based fallback for walker x node products beyond the matrix cap.
+
+    Same draw sequence, stop timing, and outputs as the vectorized path;
+    only the distinct-visit bookkeeping differs (one Python set per
+    walker, memory linear in nodes actually visited).
+    """
+    seen: list[set[int]] = [set() for _ in range(num_walks)]
+    active = list(range(num_walks))
+    visits_walker: list[np.ndarray] = []
+    visits_node: list[np.ndarray] = []
+    for _ in range(cap):
+        visits_walker.append(np.asarray(active, dtype=np.int64))
+        visits_node.append(current)
         still = []
         for slot, w in enumerate(active):
-            node = node_list[int(current[slot])]
-            walks[w].record(node, accesses[w].query(node))
-            if accesses[w].num_queried < target_queried:
+            seen[w].add(int(current[slot]))
+            if len(seen[w]) < target_queried:
                 still.append(slot)
         if not still:
-            return walks
-        current = current[still]
+            return _collect_walks(csr, num_walks, visits_walker, visits_node)
         active = [active[slot] for slot in still]
-        current = _advance(csr, current, gen)
+        current = _advance(csr, current[still], gen)
     raise SamplingError(
         f"independent batched walks did not reach {target_queried} distinct "
         f"nodes within {cap} rounds (graph too small or disconnected?)"

@@ -22,19 +22,13 @@ from repro.experiments.methods import METHOD_NAMES
 from repro.experiments.runner import (
     ExperimentConfig,
     run_experiment,
-    set_truth_cache_limit,
+    shared_dataset_graph,
     truth_cache_stats,
 )
 from repro.metrics.suite import EvaluationConfig
 from repro.service.protocol import aggregates_to_payload
 
 _STAT_NAMES = ("hits", "misses", "evictions")
-
-
-def worker_init(truth_cache_limit: int | None) -> None:
-    """Process-pool initializer: bound the worker's truth memo so
-    arbitrary request traffic cannot grow it without limit."""
-    set_truth_cache_limit(truth_cache_limit)
 
 
 def run_op(op: str, params: dict) -> tuple[dict, dict]:
@@ -103,12 +97,20 @@ def _handle_evaluate(params: dict) -> dict:
 
 
 def _handle_restore(params: dict) -> dict:
-    """One crawl-and-restore: the proposed method end to end."""
+    """One crawl-and-restore: the proposed method end to end.
+
+    The crawl runs on the published shared-memory snapshot when the
+    server shipped one for this (dataset, scale) — ``restore_graph``
+    sees the graph only through the ``GraphAccess`` neighbor-query
+    surface, which the snapshot serves bit-identically.
+    """
     from repro.graph.datasets import load_dataset
     from repro.restore.restorer import restore_graph
     from repro.sampling.access import GraphAccess
 
-    graph = load_dataset(params["dataset"], scale=params["scale"])
+    graph = shared_dataset_graph(params["dataset"], params["scale"])
+    if graph is None:
+        graph = load_dataset(params["dataset"], scale=params["scale"])
     access = GraphAccess(graph)
     target = max(3, int(round(params["fraction"] * graph.num_nodes)))
     result = restore_graph(

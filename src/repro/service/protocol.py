@@ -60,6 +60,7 @@ ERROR_CODES: dict[type[ReproError], str] = {
     errors.DatasetError: "dataset",
     errors.ExperimentError: "experiment",
     errors.EngineError: "engine",
+    errors.StoreError: "store",
     errors.ServiceError: "service",
     errors.ServiceTimeoutError: "service_timeout",
     errors.ProtocolError: "protocol",

@@ -38,10 +38,11 @@ import signal
 import sys
 import time
 
+from repro.api.workers import pool_worker_init, publish_datasets
 from repro.errors import ReproError, ServiceError, ServiceTimeoutError
 from repro.experiments.runner import record_worker_truth_stats, truth_cache_stats
 from repro.service.cache import ContentAddressedLRU
-from repro.service.handlers import run_op, worker_init
+from repro.service.handlers import run_op
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     PROTOCOL_VERSION,
@@ -82,6 +83,14 @@ class ReproService:
     drain_timeout:
         Upper bound on how long :meth:`drain` waits for in-flight
         requests before force-closing.
+    shared_datasets:
+        ``(dataset, scale)`` pairs to publish into shared memory at
+        :meth:`start` (process-pool mode only): each worker attaches the
+        frozen CSR snapshot zero-copy instead of rebuilding dataset +
+        freeze per process, so pooled requests naming those datasets
+        skip the per-worker cold start.  Responses stay byte-identical
+        to a direct library call.  Ignored — harmlessly — when shared
+        memory is unavailable or ``jobs == 1``.
     """
 
     def __init__(
@@ -93,10 +102,13 @@ class ReproService:
         progress_interval: float = 1.0,
         default_timeout: float | None = None,
         drain_timeout: float = 30.0,
+        shared_datasets: tuple = (),
     ) -> None:
         if jobs < 1:
             raise ServiceError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self._shared_datasets = tuple(shared_datasets)
+        self._publication = None
         self._cache = ContentAddressedLRU(cache_entries)
         self._metrics = ServiceMetrics()
         self._inflight: dict[str, asyncio.Future] = {}
@@ -123,10 +135,15 @@ class ReproService:
         if self._server is not None:
             raise ServiceError("service already started")
         if self.jobs >= 2:
+            descriptors: tuple = ()
+            if self._shared_datasets:
+                self._publication = publish_datasets(self._shared_datasets)
+                if self._publication is not None:
+                    descriptors = self._publication.descriptors
             self._executor = _futures.ProcessPoolExecutor(
                 max_workers=self.jobs,
-                initializer=worker_init,
-                initargs=(self._truth_cache_entries,),
+                initializer=pool_worker_init,
+                initargs=(self._truth_cache_entries, descriptors),
             )
             self._executor_kind = "process"
         else:
@@ -179,6 +196,9 @@ class ReproService:
             else:
                 self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+        if self._publication is not None:
+            self._publication.close()
+            self._publication = None
 
     # ------------------------------------------------------------------
     # stats
@@ -193,6 +213,9 @@ class ReproService:
         payload["truth_cache"] = truth_cache_stats()
         payload["jobs"] = self.jobs
         payload["executor"] = getattr(self, "_executor_kind", None)
+        payload["shared_datasets"] = (
+            0 if self._publication is None else len(self._publication.descriptors)
+        )
         payload["draining"] = self._draining
         payload["protocol_version"] = PROTOCOL_VERSION
         return payload

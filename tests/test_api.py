@@ -154,8 +154,9 @@ class _InstantPool:
     """In-process stand-in whose futures complete at submit time — makes
     the executor's input-pull pacing deterministic (no worker timing)."""
 
-    def __init__(self, max_workers):
-        pass
+    def __init__(self, max_workers, initializer=None, initargs=()):
+        if initializer is not None:
+            initializer(*initargs)
 
     def __enter__(self):
         return self
@@ -481,9 +482,14 @@ class TestTruthMemo:
         """Regression: under ``jobs > 1`` the truth memo lives in the
         worker processes, so the parent's own counters stay zero — the
         merged view must fold the per-item worker deltas back instead of
-        reporting an all-zero cache for a run that clearly used it."""
+        reporting an all-zero cache for a run that clearly used it.
+        (``shared_memory=False`` pins the legacy rebuild-per-worker path
+        this regression is about; the shared path is covered below.)"""
         clear_truth_cache()
-        run_experiment(self._config(runs=3), context=RunContext(seed=5, jobs=2))
+        run_experiment(
+            self._config(runs=3),
+            context=RunContext(seed=5, jobs=2, shared_memory=False),
+        )
         local = truth_cache_stats(merged=False)
         assert local == {"hits": 0, "misses": 0, "evictions": 0}
         merged = truth_cache_stats()
@@ -491,6 +497,19 @@ class TestTruthMemo:
         # worker's memo: the deltas must account for all three runs
         assert merged["hits"] + merged["misses"] == 3
         assert merged["misses"] >= 1
+
+    def test_shared_memory_ships_truth_to_workers(self):
+        """With shared-memory publication (the default) the parent
+        computes the cell truth exactly once and the workers only ever
+        *hit* their pre-seeded memos — the exact evaluation runs once per
+        (dataset, scale, evaluation) for the whole pool."""
+        clear_truth_cache()
+        run_experiment(self._config(runs=3), context=RunContext(seed=5, jobs=2))
+        local = truth_cache_stats(merged=False)
+        assert local["misses"] == 1  # the parent's single publication compute
+        merged = truth_cache_stats()
+        assert merged["misses"] == 1
+        assert merged["hits"] >= 3  # one per pooled run, all memo hits
 
 
 class TestDeprecationShims:
