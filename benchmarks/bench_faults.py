@@ -1,0 +1,99 @@
+"""Fault-layer benchmark: the zero-fault wrapper must be (near) free.
+
+The imperfect-crawler regime (:mod:`repro.sampling.faults`) wraps every
+neighbor query, so ideal experiments pay its dispatch cost even when no
+faults are injected.  The contract is that a null :class:`FaultPolicy`
+is a *bit-identical passthrough*; this guard bounds its *cost* too:
+
+* **overhead** — crawling through ``FaultyAccess(graph, FaultPolicy())``
+  must stay within :data:`MAX_NULL_OVERHEAD` of the plain
+  ``GraphAccess`` crawl (best-of-``REPEATS`` wall-clock, all four
+  crawlers), and the traces must be identical (the determinism half of
+  the contract, asserted unconditionally), and
+* **context** — the same crawls under a lossy policy are timed and
+  recorded (informative only: a faulty crawl does strictly more work —
+  retries, churn bookkeeping, truncation — so it has no ratio bound).
+
+Knobs (environment):
+
+    BENCH_FAULT_NODES    hidden-graph size      (default 4000)
+    BENCH_FAULT_TARGET   distinct queried nodes (default 800)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import write_json
+
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.sampling.access import GraphAccess
+from repro.sampling.crawlers import (
+    bfs_crawl,
+    forest_fire_crawl,
+    random_walk_crawl,
+    snowball_crawl,
+)
+from repro.sampling.faults import FaultPolicy, FaultyAccess
+
+NODES = int(os.environ.get("BENCH_FAULT_NODES", "4000"))
+TARGET = int(os.environ.get("BENCH_FAULT_TARGET", "800"))
+REPEATS = 5
+SEED = 7
+
+#: Wall-clock ceiling on crawl time through the null-policy wrapper,
+#: relative to the plain access (per crawler, best-of-REPEATS).  The
+#: null query path adds one policy check and a call-counter update per
+#: query; 1.5x leaves room for timer noise on shared runners while still
+#: catching an accidentally fault-priced ideal path.
+MAX_NULL_OVERHEAD = 1.5
+
+CRAWLERS = {
+    "bfs": bfs_crawl,
+    "snowball": snowball_crawl,
+    "ff": forest_fire_crawl,
+    "rw": random_walk_crawl,
+}
+
+LOSSY = FaultPolicy(failure_rate=0.1, rate_limit=50, truncate_at=25, churn=0.02)
+
+
+def _best_crawl_seconds(crawl, make_access):
+    best, trace = float("inf"), None
+    for _ in range(REPEATS):
+        access = make_access()
+        start = time.perf_counter()
+        result = crawl(access, TARGET, seed=0, rng=SEED)
+        best = min(best, time.perf_counter() - start)
+        trace = (result.queried, result.neighbors)
+    return best, trace
+
+
+def test_bench_null_policy_overhead():
+    graph = powerlaw_cluster_graph(NODES, 3, 0.3, rng=SEED)
+    payload: dict = {"nodes": NODES, "target": TARGET, "crawlers": {}}
+    for name, crawl in CRAWLERS.items():
+        ideal_s, ideal_trace = _best_crawl_seconds(
+            crawl, lambda: GraphAccess(graph)
+        )
+        null_s, null_trace = _best_crawl_seconds(
+            crawl, lambda: FaultyAccess(graph, FaultPolicy(), fault_seed=99)
+        )
+        lossy_s, _ = _best_crawl_seconds(
+            crawl,
+            lambda: FaultyAccess(graph, LOSSY, fault_seed=99, budget=4 * TARGET),
+        )
+        assert null_trace == ideal_trace, f"{name}: null policy changed the crawl"
+        overhead = null_s / ideal_s
+        payload["crawlers"][name] = {
+            "ideal_seconds": round(ideal_s, 6),
+            "null_policy_seconds": round(null_s, 6),
+            "lossy_policy_seconds": round(lossy_s, 6),
+            "null_overhead": round(overhead, 3),
+        }
+        assert overhead <= MAX_NULL_OVERHEAD, (
+            f"{name}: null-policy wrapper cost {overhead:.2f}x ideal "
+            f"(bound {MAX_NULL_OVERHEAD}x)"
+        )
+    write_json("bench_faults.json", payload)

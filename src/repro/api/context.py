@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.errors import ExperimentError
+from repro.sampling.faults import FaultPolicy
 
 if TYPE_CHECKING:  # avoid a runtime cycle: runner imports spawn_seeds
     from collections.abc import Iterable
@@ -105,6 +106,16 @@ class RunContext:
         evaluation per process (:mod:`repro.api.workers`).  Results are
         bit-identical either way; set false to force the legacy
         rebuild-per-worker path (or when ``/dev/shm`` is constrained).
+    fault_policy:
+        Imperfect-crawler regime every cell crawls under
+        (:mod:`repro.sampling.faults`).  ``None`` — the default — is
+        ideal crawling.  A cell whose config pins its own policy keeps
+        it; like ``backend``, only ``None`` config policies are filled
+        from here (pin ``FaultPolicy()``, the null policy, on a config
+        to force ideal crawling under a faulty context).  Fault
+        randomness rides dedicated children of the pre-spawned run
+        seeds, so every ``(seed, policy)`` sweep is deterministic and
+        ``jobs=N`` stays bit-identical to serial.
     """
 
     backend: str = "auto"
@@ -113,6 +124,7 @@ class RunContext:
     jobs: int = 1
     granularity: str = "auto"
     shared_memory: bool = True
+    fault_policy: FaultPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKENDS:
@@ -160,16 +172,32 @@ class RunContext:
         The config's own choices win where it made one: an explicit
         ``config.backend`` is kept, only ``None`` is filled from the
         context; ``exact_paths`` is sticky (the context can turn it on,
-        never off).  The cell seed is left untouched — sweep builders
-        assign it via :meth:`seed_for` when materializing cells.
+        never off); a ``None`` ``config.fault_policy`` is filled from
+        the context's crawl regime.  The cell seed is left untouched —
+        sweep builders assign it via :meth:`seed_for` when materializing
+        cells.
         """
         backend = config.backend if config.backend is not None else self.backend
+        fault_policy = (
+            config.fault_policy
+            if config.fault_policy is not None
+            else self.fault_policy
+        )
         evaluation = config.evaluation
         if self.exact_paths and not evaluation.exact_paths:
             evaluation = replace(evaluation, exact_paths=True)
-        if backend == config.backend and evaluation is config.evaluation:
+        if (
+            backend == config.backend
+            and evaluation is config.evaluation
+            and fault_policy == config.fault_policy
+        ):
             return config
-        return replace(config, backend=backend, evaluation=evaluation)
+        return replace(
+            config,
+            backend=backend,
+            evaluation=evaluation,
+            fault_policy=fault_policy,
+        )
 
     def materialize(self, configs: "Iterable[ExperimentConfig]") -> "list[ExperimentConfig]":
         """Cell list ready for an executor: configured, per-cell seeded.

@@ -132,6 +132,8 @@ def _build_parser() -> argparse.ArgumentParser:
                 help="exact all-pairs shortest paths (streaming histogram) "
                 "instead of the sampled protocol",
             )
+        if execution:
+            _fault_flags(p)
 
     p_fig3 = sub.add_parser("fig3", help="Figure 3: average L1 vs %% queried")
     common(p_fig3)
@@ -216,6 +218,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "graphs to the vectorized CSR engine)",
     )
     p_rest.add_argument("--out", default=None, help="output path prefix")
+    _fault_flags(p_rest)
 
     p_snap = sub.add_parser(
         "snapshot",
@@ -282,6 +285,44 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fault_flags(p: argparse.ArgumentParser) -> None:
+    """The imperfect-crawler regime knobs (repro.sampling.faults); all
+    zero — the defaults — mean ideal crawling, bit-identical to a build
+    without these flags."""
+    p.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="transient per-attempt query failure probability in [0, 1) "
+        "(failed attempts are retried, each charged against the crawl's "
+        "API-call budget)",
+    )
+    p.add_argument(
+        "--rate-limit", type=int, default=0,
+        help="rate-limit window: every Nth API call costs one extra "
+        "(wasted) call (0 disables)",
+    )
+    p.add_argument(
+        "--truncate-at", type=int, default=0,
+        help="neighbor-list page cap: queries return only the first N "
+        "incident edges (0 disables)",
+    )
+    p.add_argument(
+        "--churn", type=float, default=0.0,
+        help="probability in [0, 1] that a node has churned away when "
+        "first queried (crawlers skip it and re-seed dead crawls)",
+    )
+
+
+def _fault_policy(args):
+    from repro.sampling.faults import policy_from_knobs
+
+    return policy_from_knobs(
+        fault_rate=getattr(args, "fault_rate", 0.0),
+        rate_limit=getattr(args, "rate_limit", 0),
+        truncate_at=getattr(args, "truncate_at", 0),
+        churn=getattr(args, "churn", 0.0),
+    )
+
+
 def _context(args) -> RunContext:
     """The single execution context every experiment command runs under."""
     return RunContext(
@@ -291,6 +332,7 @@ def _context(args) -> RunContext:
         jobs=getattr(args, "jobs", 1),
         granularity=getattr(args, "granularity", "auto"),
         shared_memory=not getattr(args, "no_shared_memory", False),
+        fault_policy=_fault_policy(args),
     )
 
 
@@ -450,8 +492,16 @@ def _cmd_restore(args) -> str:
     from repro.metrics.suite import EvaluationConfig
 
     graph = load_dataset(args.dataset, scale=args.scale)
-    access = GraphAccess(graph)
     target = max(3, int(round(args.fraction * graph.num_nodes)))
+    policy = _fault_policy(args)
+    if policy is None:
+        access = GraphAccess(graph)
+    else:
+        from repro.sampling.faults import make_faulty_access, spawn_fault_seed
+
+        access = make_faulty_access(
+            graph, policy, fault_seed=spawn_fault_seed(args.seed), budget=target
+        )
     result = restore_graph(
         access, target, rc=args.rc, rng=args.seed, backend=args.backend
     )

@@ -20,6 +20,31 @@ class SamplingError(ReproError):
     """Raised when a crawl cannot proceed (empty graph, isolated seed...)."""
 
 
+class BudgetExhaustedError(SamplingError):
+    """Raised when a :class:`~repro.sampling.access.GraphAccess` query
+    budget is spent.  Under an ideal crawler the budget counts distinct
+    queried nodes; under a fault regime (:mod:`repro.sampling.faults`) it
+    counts *charged API calls*, which failed attempts and rate-limit
+    waits also consume — so this can fire mid-retry."""
+
+
+class CrawlFaultError(SamplingError):
+    """Base class for injected crawl faults (:mod:`repro.sampling.faults`).
+
+    Crawlers treat these as per-node conditions to degrade around (skip
+    the node, re-seed a dead crawl) rather than run-fatal errors."""
+
+
+class NodeChurnedError(CrawlFaultError):
+    """Raised when a queried node has churned (left the network); every
+    subsequent query of the same node raises again, without charge."""
+
+
+class QueryFailedError(CrawlFaultError):
+    """Raised when a query's transient failures outlasted the policy's
+    bounded retries (each failed attempt was charged against the budget)."""
+
+
 class EstimationError(ReproError):
     """Raised when an estimator cannot produce a finite estimate."""
 

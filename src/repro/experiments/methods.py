@@ -23,6 +23,7 @@ from repro.sampling.crawlers import (
     forest_fire_crawl,
     snowball_crawl,
 )
+from repro.sampling.faults import FaultPolicy, make_faulty_access, spawn_fault_seed
 from repro.sampling.subgraph import build_subgraph
 from repro.sampling.walkers import SamplingList, random_walk
 from repro.utils.rng import ensure_rng
@@ -52,6 +53,13 @@ class MethodOutput:
     rewiring_seconds: float = 0.0
 
 
+# Fixed fault-stream slots per access construction: the shared walk and
+# each BFS-family crawler draw faults from their own SeedSequence child,
+# so adding/removing methods from a run never shifts another method's
+# fault stream.
+_FAULT_SLOTS = {"walk": 0, "bfs": 1, "snowball": 2, "ff": 3}
+
+
 def run_methods_once(
     original: MultiGraph,
     fraction: float,
@@ -60,6 +68,8 @@ def run_methods_once(
     rng: random.Random | int | None = None,
     max_rewiring_attempts: int | None = None,
     backend: str = "auto",
+    fault_policy: FaultPolicy | None = None,
+    fault_seed: int | None = None,
 ) -> dict[str, MethodOutput]:
     """Run one fair-comparison round of the requested methods.
 
@@ -79,6 +89,19 @@ def run_methods_once(
         phases.
     backend:
         Rewiring compute backend forwarded to the generative methods.
+    fault_policy:
+        Imperfect-crawler regime (:mod:`repro.sampling.faults`).  When
+        non-null, every method crawls through a fault-injecting access
+        with an API-*call* budget of ``target`` — the calls an ideal
+        crawler would spend — so retries, rate-limit waits, and churn
+        discoveries eat into the sample a method can afford.  ``None``
+        (or a null policy) reproduces ideal crawling bit-identically.
+    fault_seed:
+        Base of the per-method fault streams.  The harness passes a
+        dedicated :func:`~repro.sampling.faults.spawn_fault_seed` child
+        of the pre-spawned run seed; when omitted under a non-null
+        policy, one is drawn from ``rng`` (still deterministic for a
+        fixed ``(rng seed, policy)``, but prefer passing it).
     """
     unknown = [m for m in methods if m not in METHOD_NAMES]
     if unknown:
@@ -89,15 +112,31 @@ def run_methods_once(
     target = max(3, int(round(fraction * original.num_nodes)))
     seed = GraphAccess(original).random_seed(r)
 
+    faulty = fault_policy is not None and not fault_policy.is_null
+    if faulty and fault_seed is None:
+        fault_seed = r.getrandbits(64)
+
+    def crawl_access(slot: str) -> GraphAccess:
+        """A fresh access for one crawl; fault-injecting when the regime
+        is imperfect (each slot gets its own dedicated fault stream)."""
+        if not faulty:
+            return GraphAccess(original)
+        return make_faulty_access(
+            original,
+            fault_policy,
+            fault_seed=spawn_fault_seed(fault_seed, _FAULT_SLOTS[slot]),
+            budget=target,
+        )
+
     walk: SamplingList | None = None
     if any(m in methods for m in ("rw", "gjoka", "proposed")):
-        walk = random_walk(GraphAccess(original), target, seed=seed, rng=r)
+        walk = random_walk(crawl_access("walk"), target, seed=seed, rng=r)
 
     outputs: dict[str, MethodOutput] = {}
     for method in methods:
         outputs[method] = _run_one(
             method, original, target, seed, walk, rc, r,
-            max_rewiring_attempts, backend,
+            max_rewiring_attempts, backend, crawl_access,
         )
     return outputs
 
@@ -112,6 +151,7 @@ def _run_one(
     rng: random.Random,
     max_rewiring_attempts: int | None,
     backend: str,
+    crawl_access,
 ) -> MethodOutput:
     if method in SUBGRAPH_METHODS:
         start = time.perf_counter()
@@ -119,11 +159,11 @@ def _run_one(
             assert walk is not None
             sample = walk
         elif method == "bfs":
-            sample = bfs_crawl(GraphAccess(original), target, seed=seed, rng=rng)
+            sample = bfs_crawl(crawl_access("bfs"), target, seed=seed, rng=rng)
         elif method == "snowball":
-            sample = snowball_crawl(GraphAccess(original), target, seed=seed, rng=rng)
+            sample = snowball_crawl(crawl_access("snowball"), target, seed=seed, rng=rng)
         else:  # ff
-            sample = forest_fire_crawl(GraphAccess(original), target, seed=seed, rng=rng)
+            sample = forest_fire_crawl(crawl_access("ff"), target, seed=seed, rng=rng)
         subgraph = build_subgraph(sample)
         elapsed = time.perf_counter() - start
         return MethodOutput(method, subgraph.graph, elapsed)

@@ -43,6 +43,7 @@ from repro.experiments.methods import (
     METHOD_NAMES,
     run_methods_once,
 )
+from repro.sampling.faults import FaultPolicy, spawn_fault_seed
 from repro.utils.rng import ensure_rng
 from repro.utils.stats import mean, pstdev
 
@@ -61,7 +62,12 @@ class ExperimentConfig:
     evaluation config's compute backend for every property evaluation in
     the cell *and* selects the generative methods' rewiring backend; a
     ``None`` backend is filled in from the :class:`~repro.api.RunContext`
-    the cell runs under.
+    the cell runs under.  ``fault_policy`` selects the crawl regime
+    (:mod:`repro.sampling.faults`): ``None`` is ideal crawling *and*
+    lets the RunContext fill in its own policy; pin an explicit
+    ``FaultPolicy()`` (the null policy) to force ideal crawling under a
+    faulty context.  The truth PropertySet is always evaluated on the
+    clean hidden graph — faults degrade only what the crawlers see.
     """
 
     dataset: str
@@ -74,6 +80,7 @@ class ExperimentConfig:
     evaluation: EvaluationConfig = field(default_factory=EvaluationConfig)
     max_rewiring_attempts: int | None = None
     backend: str | None = None
+    fault_policy: FaultPolicy | None = None
 
     def evaluation_config(self) -> EvaluationConfig:
         """The evaluation config with any ``backend`` override applied."""
@@ -260,6 +267,7 @@ def _run_once(
 ) -> RunRecord:
     """One fair-comparison round of the cell: the run work-item body."""
     evaluation = config.evaluation_config()
+    faulty = config.fault_policy is not None and not config.fault_policy.is_null
     outputs = run_methods_once(
         graph,
         config.fraction,
@@ -268,6 +276,11 @@ def _run_once(
         rng=ensure_rng(run_seed),
         max_rewiring_attempts=config.max_rewiring_attempts,
         backend=config.backend or "auto",
+        fault_policy=config.fault_policy,
+        # the fault stream is a dedicated child of the pre-spawned run
+        # seed, so (seed, policy) fully determines the crawl — serial,
+        # jobs=N, and cross-process executions all replay it identically
+        fault_seed=spawn_fault_seed(run_seed) if faulty else None,
     )
     distances: dict[str, dict[str, float]] = {}
     total: dict[str, float] = {}

@@ -31,6 +31,7 @@ from repro.experiments.runner import (
     MethodAggregate,
 )
 from repro.metrics.suite import EvaluationConfig
+from repro.sampling.faults import FaultPolicy
 
 if TYPE_CHECKING:
     from repro.api.context import RunContext
@@ -39,6 +40,12 @@ if TYPE_CHECKING:
 @dataclass(frozen=True)
 class SweepGrid:
     """Cartesian sweep specification.
+
+    ``fault_policies`` is the imperfect-crawler axis: one cell per
+    (dataset, fraction, rc, policy) combination, where ``None`` entries
+    mean ideal crawling (or whatever regime the
+    :class:`~repro.api.RunContext` pins).  The default single-``None``
+    axis reproduces existing grids cell for cell.
 
     ``seed`` and ``backend`` are legacy per-grid execution knobs: when
     :func:`run_sweep` is called without a context they seed a default
@@ -55,6 +62,7 @@ class SweepGrid:
     seed: int = 1
     evaluation: EvaluationConfig = field(default_factory=EvaluationConfig)
     backend: str | None = None
+    fault_policies: tuple[FaultPolicy | None, ...] = (None,)
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -76,6 +84,8 @@ class SweepGrid:
         """
         if not self.datasets:
             raise ExperimentError("sweep needs at least one dataset")
+        if not self.fault_policies:
+            raise ExperimentError("sweep needs at least one fault policy (None = ideal)")
         raw = (
             ExperimentConfig(
                 dataset=dataset,
@@ -87,10 +97,12 @@ class SweepGrid:
                 seed=self.seed,
                 evaluation=self.evaluation,
                 backend=self.backend,
+                fault_policy=fault_policy,
             )
             for dataset in self.datasets
             for fraction in self.fractions
             for rc in self.rcs
+            for fault_policy in self.fault_policies
         )
         if context is None:
             yield from raw
@@ -99,7 +111,12 @@ class SweepGrid:
 
     def size(self) -> int:
         """Number of cells in the grid."""
-        return len(self.datasets) * len(self.fractions) * len(self.rcs)
+        return (
+            len(self.datasets)
+            * len(self.fractions)
+            * len(self.rcs)
+            * len(self.fault_policies)
+        )
 
 
 @dataclass
@@ -110,11 +127,18 @@ class SweepCellResult:
     aggregates: dict[str, MethodAggregate]
 
     def key(self) -> str:
-        """Stable label: ``dataset@fraction/rc``."""
-        return (
+        """Stable label: ``dataset@fraction/rc`` (ideal crawling), with
+        the fault-policy label appended under a non-null regime — so
+        existing CSVs are byte-identical and fault cells are
+        distinguishable within one sweep."""
+        base = (
             f"{self.config.dataset}@{self.config.fraction:g}"
             f"/rc{self.config.rc:g}"
         )
+        policy = self.config.fault_policy
+        if policy is not None and not policy.is_null:
+            return f"{base}/{policy.label()}"
+        return base
 
 
 def run_sweep(

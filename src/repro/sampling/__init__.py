@@ -9,6 +9,14 @@ subgraph sampling only).
 
 from repro.sampling.access import GraphAccess
 from repro.sampling.csr_access import CSRGraphAccess
+from repro.sampling.faults import (
+    FaultPolicy,
+    FaultyAccess,
+    FaultyCSRGraphAccess,
+    make_faulty_access,
+    policy_from_knobs,
+    spawn_fault_seed,
+)
 from repro.sampling.walkers import (
     SamplingList,
     random_walk,
@@ -29,6 +37,12 @@ __all__ = [
     "frontier_sampling",
     "GraphAccess",
     "CSRGraphAccess",
+    "FaultPolicy",
+    "FaultyAccess",
+    "FaultyCSRGraphAccess",
+    "make_faulty_access",
+    "policy_from_knobs",
+    "spawn_fault_seed",
     "SamplingList",
     "random_walk",
     "non_backtracking_random_walk",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 
-from repro.errors import SamplingError
+from repro.errors import BudgetExhaustedError, SamplingError
 from repro.graph.multigraph import MultiGraph, Node
 from repro.utils.rng import ensure_rng
 
@@ -55,7 +55,7 @@ class GraphAccess:
         if node in self._queried:
             return self._queried[node]
         if self._budget is not None and len(self._queried) >= self._budget:
-            raise SamplingError(
+            raise BudgetExhaustedError(
                 f"query budget of {self._budget} distinct nodes exhausted"
             )
         if not self._graph.has_node(node):
@@ -92,6 +92,17 @@ class GraphAccess:
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
+    @property
+    def fault_policy(self):
+        """The injected :class:`~repro.sampling.faults.FaultPolicy`, if any.
+
+        ``None`` on the ideal access.  Crawlers read this to decide
+        whether to run strictly (ideal: shortfalls raise) or leniently
+        (a non-null policy: skip faulted nodes, re-seed dead crawls,
+        keep partial results on budget exhaustion).
+        """
+        return None
+
     @property
     def queried_nodes(self) -> set[Node]:
         """Set of distinct nodes queried so far."""

@@ -8,6 +8,23 @@ when the fire dies), and the random walk itself.
 
 Each crawler stops once ``target_queried`` distinct nodes have been queried
 and returns a :class:`CrawlResult` from which the induced subgraph is built.
+
+Fault tolerance
+---------------
+Every crawler degrades gracefully under an imperfect-crawler regime
+(:mod:`repro.sampling.faults`): a node whose query faults
+(:class:`~repro.errors.CrawlFaultError` — churned away, or transient
+retries exhausted) is skipped; a crawl whose frontier dies — including a
+seed node that churns on the very first query — re-seeds
+deterministically (revival from sampled territory first, then a bounded
+number of fresh uniform seeds drawn from the crawler's own generator);
+and budget exhaustion (:class:`~repro.errors.BudgetExhaustedError`, which
+under faults counts charged API calls and can fire mid-retry) ends the
+crawl with the partial result instead of raising.  On an ideal access —
+or a :class:`~repro.sampling.faults.FaultyAccess` with a null policy —
+none of these paths execute and the strict behavior is unchanged:
+shortfalls raise :class:`~repro.errors.SamplingError` and the crawl
+trace is bit-identical to what this module always produced.
 """
 
 from __future__ import annotations
@@ -16,7 +33,7 @@ import random
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.errors import SamplingError
+from repro.errors import BudgetExhaustedError, CrawlFaultError, SamplingError
 from repro.graph.multigraph import Node
 from repro.sampling.access import GraphAccess
 from repro.sampling.walkers import SamplingList, random_walk
@@ -24,6 +41,12 @@ from repro.utils.rng import ensure_rng
 
 DEFAULT_SNOWBALL_K = 50  # Ref. [28] via the paper's Section V-E
 DEFAULT_FOREST_FIRE_P = 0.7  # Ref. [24] via the paper's Section V-E
+
+#: Cap on fresh uniform re-seeds a fault-tolerant crawl may draw.  Bounds
+#: the crawl when churn has killed everything reachable and there is no
+#: call budget to run out of; each re-seed is one deterministic draw from
+#: the crawler's generator, so the cap never affects reproducibility.
+MAX_RESEEDS = 100
 
 
 @dataclass
@@ -45,6 +68,13 @@ class CrawlResult:
             self.neighbors[node] = nbrs
 
 
+def _lenient(access: GraphAccess) -> bool:
+    """True when ``access`` injects a non-null fault policy — the regime
+    in which crawlers skip faulted nodes and keep partial results."""
+    policy = access.fault_policy
+    return policy is not None and not policy.is_null
+
+
 def bfs_crawl(
     access: GraphAccess,
     target_queried: int,
@@ -56,17 +86,28 @@ def bfs_crawl(
     r = ensure_rng(rng)
     start = seed if seed is not None else access.random_seed(r)
     result = CrawlResult()
+    lenient = _lenient(access)
+    reseeds = 0
     queue: deque[Node] = deque([start])
     enqueued: set[Node] = {start}
     while queue and result.num_queried < target_queried:
         u = queue.popleft()
-        nbrs = access.query(u)
+        try:
+            nbrs = access.query(u)
+        except CrawlFaultError:
+            if not queue:
+                reseeds = _reseed(queue, enqueued, result, access, r, reseeds)
+            continue
+        except BudgetExhaustedError:
+            if lenient:
+                break
+            raise
         result.record(u, nbrs)
         for v in nbrs:
             if v not in enqueued:
                 enqueued.add(v)
                 queue.append(v)
-    _check_reached(result, target_queried, "BFS")
+    _check_reached(result, target_queried, "BFS", lenient)
     return result
 
 
@@ -84,11 +125,22 @@ def snowball_crawl(
     r = ensure_rng(rng)
     start = seed if seed is not None else access.random_seed(r)
     result = CrawlResult()
+    lenient = _lenient(access)
+    reseeds = 0
     queue: deque[Node] = deque([start])
     enqueued: set[Node] = {start}
     while queue and result.num_queried < target_queried:
         u = queue.popleft()
-        nbrs = access.query(u)
+        try:
+            nbrs = access.query(u)
+        except CrawlFaultError:
+            if not queue:
+                reseeds = _reseed(queue, enqueued, result, access, r, reseeds)
+            continue
+        except BudgetExhaustedError:
+            if lenient:
+                break
+            raise
         result.record(u, nbrs)
         fresh = _distinct_unvisited(nbrs, enqueued)
         picked = fresh if len(fresh) <= k else r.sample(fresh, k)
@@ -97,7 +149,9 @@ def snowball_crawl(
             queue.append(v)
         if not queue and result.num_queried < target_queried:
             _revive(queue, enqueued, result, r)
-    _check_reached(result, target_queried, "snowball")
+            if not queue and lenient:
+                reseeds = _reseed(queue, enqueued, result, access, r, reseeds)
+    _check_reached(result, target_queried, "snowball", lenient)
     return result
 
 
@@ -120,22 +174,33 @@ def forest_fire_crawl(
     r = ensure_rng(rng)
     start = seed if seed is not None else access.random_seed(r)
     result = CrawlResult()
+    lenient = _lenient(access)
+    reseeds = 0
     queue: deque[Node] = deque([start])
     enqueued: set[Node] = {start}
     while result.num_queried < target_queried:
         if not queue:
             _revive(queue, enqueued, result, r)
+            if not queue and lenient:
+                reseeds = _reseed(queue, enqueued, result, access, r, reseeds)
             if not queue:
                 break
         u = queue.popleft()
-        nbrs = access.query(u)
+        try:
+            nbrs = access.query(u)
+        except CrawlFaultError:
+            continue
+        except BudgetExhaustedError:
+            if lenient:
+                break
+            raise
         result.record(u, nbrs)
         fresh = _distinct_unvisited(nbrs, enqueued)
         n_burn = min(_geometric(p_forward, r), len(fresh))
         for v in r.sample(fresh, n_burn):
             enqueued.add(v)
             queue.append(v)
-    _check_reached(result, target_queried, "forest fire")
+    _check_reached(result, target_queried, "forest fire", lenient)
     return result
 
 
@@ -190,19 +255,65 @@ def _revive(
         queue.append(fresh)
 
 
+def _reseed(
+    queue: deque,
+    enqueued: set[Node],
+    result: CrawlResult,
+    access: GraphAccess,
+    rng: random.Random,
+    reseeds: int,
+) -> int:
+    """Fault-regime frontier recovery; returns the updated re-seed count.
+
+    Revival from sampled territory is tried first (same convention as the
+    ideal forest fire); when nothing sampled remains reachable, a fresh
+    uniform seed is drawn from the crawler's generator — the path a crawl
+    whose seed node churned on its very first query takes.  Both steps
+    consume only the crawler's own rng, so recovery is as deterministic
+    as the crawl itself.  At most :data:`MAX_RESEEDS` fresh seeds are
+    drawn; after that the queue is left empty for the caller to stop.
+    """
+    if result.queried:
+        _revive(queue, enqueued, result, rng)
+        if queue:
+            return reseeds
+    if reseeds >= MAX_RESEEDS:
+        return reseeds
+    fresh = access.random_seed(rng)
+    enqueued.add(fresh)
+    queue.append(fresh)
+    return reseeds + 1
+
+
 def _geometric(p: float, rng: random.Random) -> int:
     """Geometric draw on {0, 1, 2, ...} with success prob ``1 - p``.
 
     ``P(X = x) = (1 - p) p^x`` so the mean is ``p / (1 - p)``, matching the
-    paper's forest-fire parameterization.
+    paper's forest-fire parameterization.  ``p = 0`` always burns nothing
+    (without touching the generator); ``p = 1`` would burn forever and is
+    rejected rather than looping.
     """
+    if p <= 0.0:
+        return 0
+    if p >= 1.0:
+        raise SamplingError(f"geometric burst requires p < 1, got {p}")
     x = 0
     while rng.random() < p:
         x += 1
     return x
 
 
-def _check_reached(result: CrawlResult, target: int, label: str) -> None:
+def _check_reached(
+    result: CrawlResult, target: int, label: str, lenient: bool = False
+) -> None:
+    if lenient:
+        # under a fault regime a shortfall is the measured outcome, not an
+        # error — but an empty crawl has nothing to build a subgraph from
+        if result.num_queried == 0:
+            raise SamplingError(
+                f"{label} crawl sampled nothing under the fault regime"
+            )
+        return
     if result.num_queried < target:
         raise SamplingError(
             f"{label} crawl exhausted the reachable component at "

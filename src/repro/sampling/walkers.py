@@ -16,7 +16,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.errors import SamplingError
+from repro.errors import BudgetExhaustedError, CrawlFaultError, SamplingError
 from repro.graph.multigraph import Node
 from repro.sampling.access import GraphAccess
 from repro.utils.rng import ensure_rng
@@ -94,19 +94,42 @@ def random_walk(
         Seedable randomness (see :func:`repro.utils.ensure_rng`).
     max_steps:
         Safety valve for poorly connected graphs; default ``1000 x target``.
+
+    Under an imperfect-crawler regime (an access with a non-null
+    :class:`~repro.sampling.faults.FaultPolicy`) the walk degrades
+    gracefully instead of raising: a step onto a faulted node (churned,
+    or transient retries exhausted) teleports the walker back to a
+    uniformly random position of its own trace — or to a fresh uniform
+    seed while the trace is still empty, which is how a walk whose seed
+    node immediately churns re-seeds deterministically — and budget
+    exhaustion (which under faults counts charged API calls) returns the
+    partial walk.  All recovery draws come from the walk's own
+    generator, so a faulty walk is a pure function of ``(seed, policy)``.
     """
     r = ensure_rng(rng)
     cap = max_steps if max_steps is not None else 1000 * max(target_queried, 1)
     current = seed if seed is not None else access.random_seed(r)
+    policy = access.fault_policy
+    lenient = policy is not None and not policy.is_null
     walk = SamplingList()
     for _ in range(cap):
-        nbrs = access.query(current)
+        try:
+            nbrs = access.query(current)
+        except CrawlFaultError:
+            current = r.choice(walk.nodes) if walk.nodes else access.random_seed(r)
+            continue
+        except BudgetExhaustedError:
+            if lenient and walk.nodes:
+                return walk
+            raise
         if not nbrs:
             raise SamplingError(f"walk stuck: node {current!r} has no edges")
         walk.record(current, nbrs)
         if access.num_queried >= target_queried:
             return walk
         current = r.choice(nbrs)
+    if lenient and walk.nodes:
+        return walk
     raise SamplingError(
         f"random walk did not reach {target_queried} distinct nodes "
         f"within {cap} steps (graph too small or disconnected?)"

@@ -26,6 +26,7 @@ from repro.experiments.runner import (
     truth_cache_stats,
 )
 from repro.metrics.suite import EvaluationConfig
+from repro.sampling.faults import policy_from_knobs
 from repro.service.protocol import aggregates_to_payload
 
 _STAT_NAMES = ("hits", "misses", "evictions")
@@ -67,6 +68,22 @@ def evaluate_config(params: dict) -> ExperimentConfig:
         evaluation=evaluation,
         max_rewiring_attempts=params["max_rewiring_attempts"],
         backend=params["backend"],
+        fault_policy=_fault_policy(params),
+    )
+
+
+def _fault_policy(params: dict):
+    """The crawl regime a request's fault knobs describe (None = ideal).
+
+    The knobs are normalized (defaulted + coerced) before they get here,
+    so two requests meaning the same regime produce equal policies —
+    and, upstream, the same content address.
+    """
+    return policy_from_knobs(
+        fault_rate=params["fault_rate"],
+        rate_limit=params["rate_limit"],
+        truncate_at=params["truncate_at"],
+        churn=params["churn"],
     )
 
 
@@ -111,8 +128,22 @@ def _handle_restore(params: dict) -> dict:
     graph = shared_dataset_graph(params["dataset"], params["scale"])
     if graph is None:
         graph = load_dataset(params["dataset"], scale=params["scale"])
-    access = GraphAccess(graph)
     target = max(3, int(round(params["fraction"] * graph.num_nodes)))
+    policy = _fault_policy(params)
+    if policy is None:
+        access = GraphAccess(graph)
+    else:
+        from repro.sampling.faults import make_faulty_access, spawn_fault_seed
+
+        # same derivation as the harness: the fault stream is a dedicated
+        # child of the request seed, so identical requests replay
+        # identical degraded crawls (shared snapshot or not)
+        access = make_faulty_access(
+            graph,
+            policy,
+            fault_seed=spawn_fault_seed(params["seed"]),
+            budget=target,
+        )
     result = restore_graph(
         access,
         target,

@@ -54,6 +54,10 @@ ERROR_CODES: dict[type[ReproError], str] = {
     errors.ReproError: "repro",
     errors.GraphError: "graph",
     errors.SamplingError: "sampling",
+    errors.BudgetExhaustedError: "budget_exhausted",
+    errors.CrawlFaultError: "crawl_fault",
+    errors.NodeChurnedError: "node_churned",
+    errors.QueryFailedError: "query_failed",
     errors.EstimationError: "estimation",
     errors.RealizabilityError: "realizability",
     errors.ConstructionError: "construction",
@@ -163,6 +167,12 @@ PARAM_SPECS: dict[str, dict[str, object]] = {
         "path_sources": 128,
         "betweenness_pivots": 64,
         "eval_seed": 7,
+        # imperfect-crawler regime (repro.sampling.faults); all-zero means
+        # ideal crawling, so existing requests normalize to the same cell
+        "fault_rate": 0.0,
+        "rate_limit": 0,
+        "truncate_at": 0,
+        "churn": 0.0,
     },
     "restore": {
         "dataset": _REQUIRED,
@@ -171,6 +181,10 @@ PARAM_SPECS: dict[str, dict[str, object]] = {
         "scale": 1.0,
         "seed": 1,
         "backend": "auto",
+        "fault_rate": 0.0,
+        "rate_limit": 0,
+        "truncate_at": 0,
+        "churn": 0.0,
     },
 }
 
