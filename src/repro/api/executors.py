@@ -80,7 +80,12 @@ class ProcessPoolExecutor:
         published shared-memory snapshots before their first item.
     """
 
-    def __init__(self, jobs: int, initializer=None, initargs: tuple = ()) -> None:
+    def __init__(
+        self,
+        jobs: int,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+    ) -> None:
         if jobs < 2:
             raise ExperimentError(f"ProcessPoolExecutor needs jobs >= 2, got {jobs}")
         self.jobs = jobs
@@ -154,7 +159,9 @@ class ProcessPoolExecutor:
 
 
 def executor_for(
-    context: Any, initializer=None, initargs: tuple = ()
+    context: Any,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple[Any, ...] = (),
 ) -> Executor:
     """The executor a :class:`~repro.api.context.RunContext` asks for.
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
 from dataclasses import replace
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, TypeVar
 
 from repro.api.executors import Executor, executor_for
 from repro.errors import ExperimentError
@@ -43,6 +43,9 @@ from repro.experiments.runner import (
 
 if TYPE_CHECKING:
     from repro.api.context import RunContext
+    from repro.api.workers import DatasetPublication
+
+_T = TypeVar("_T")
 
 
 def map_cells(
@@ -102,7 +105,10 @@ def _schedule_cells(
     return executor.map(execute_cell, [(config, context) for config in cells])
 
 
-def _close_after(results, publication):
+def _close_after(
+    results: Iterator[dict[str, MethodAggregate]],
+    publication: "DatasetPublication",
+) -> Iterator[dict[str, MethodAggregate]]:
     """Yield through ``results``, unlinking the publication when the
     iterator finishes or is abandoned (generator close runs the finally;
     attached workers keep their mappings until they exit)."""
@@ -112,7 +118,7 @@ def _close_after(results, publication):
         publication.close()
 
 
-def _merge_worker_stats(results):
+def _merge_worker_stats(results: Iterator[tuple[_T, Any]]) -> Iterator[_T]:
     """Unwrap ``(result, truth-stats delta)`` pairs from pooled workers,
     folding each delta into the parent's merged counters as it arrives."""
     for result, delta in results:

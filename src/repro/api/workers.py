@@ -41,6 +41,8 @@ from repro.experiments.runner import (
 )
 
 if TYPE_CHECKING:
+    from repro.engine.csr import CSRGraph
+    from repro.engine.store import SharedSnapshot
     from repro.experiments.runner import ExperimentConfig
     from repro.metrics.suite import EvaluationConfig, PropertySet
 
@@ -70,8 +72,12 @@ class DatasetPublication:
     reclaims the memory as attached workers exit.
     """
 
-    def __init__(self, snapshots, descriptors: "tuple[SharedDataset, ...]"):
-        self._snapshots = tuple(snapshots)
+    def __init__(
+        self,
+        snapshots: "Iterable[SharedSnapshot]",
+        descriptors: "tuple[SharedDataset, ...]",
+    ) -> None:
+        self._snapshots: "tuple[SharedSnapshot, ...]" = tuple(snapshots)
         self.descriptors = descriptors
 
     @property
@@ -88,7 +94,7 @@ class DatasetPublication:
     def __enter__(self) -> "DatasetPublication":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -114,7 +120,7 @@ def publish_cells(
     from repro.engine.dispatch import ensure_csr
     from repro.graph.datasets import load_dataset
 
-    snapshots: list = []
+    snapshots: "list[SharedSnapshot]" = []
     descriptors: list[SharedDataset] = []
     try:
         for (dataset, scale), configs in groups.items():
@@ -151,7 +157,7 @@ def publish_datasets(
     from repro.engine.dispatch import ensure_csr
     from repro.graph.datasets import load_dataset
 
-    snapshots: list = []
+    snapshots: "list[SharedSnapshot]" = []
     descriptors: list[SharedDataset] = []
     try:
         for dataset, scale in OrderedDict.fromkeys(targets):
@@ -167,7 +173,7 @@ def publish_datasets(
     return DatasetPublication(snapshots, tuple(descriptors))
 
 
-def _publish_graph(csr):
+def _publish_graph(csr: "CSRGraph") -> "SharedSnapshot":
     from repro.engine.store import SharedSnapshot
 
     return SharedSnapshot.create(csr)

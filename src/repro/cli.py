@@ -68,7 +68,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.print_help()
         return 2
     handler = _HANDLERS[args.command]
-    print(handler(args))
+    result = handler(args)
+    if isinstance(result, int):  # lint returns a process exit code directly
+        return result
+    print(result)
     return 0
 
 
@@ -265,6 +268,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "startup so pool workers attach instead of rebuilding (repeatable; "
         "process-pool mode only)",
     )
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the determinism & contract linter (see repro.lint)",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
 
     p_req = sub.add_parser(
         "request", help="send one request to a running restoration service"
@@ -557,7 +568,9 @@ def _parse_share(entries: list[str]) -> tuple:
         try:
             targets.append((name, float(scale) if scale else 1.0))
         except ValueError:
-            raise SystemExit(f"bad --share entry {entry!r}: scale must be a number")
+            raise SystemExit(
+                f"bad --share entry {entry!r}: scale must be a number"
+            ) from None
     return tuple(targets)
 
 
@@ -578,6 +591,12 @@ def _cmd_serve(args) -> str:
     return ""
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
 def _cmd_request(args) -> str:
     import json
 
@@ -587,7 +606,7 @@ def _cmd_request(args) -> str:
     try:
         params = json.loads(args.params)
     except json.JSONDecodeError as exc:
-        raise SystemExit(f"--params is not valid JSON: {exc}")
+        raise SystemExit(f"--params is not valid JSON: {exc}") from exc
     if not isinstance(params, dict):
         raise SystemExit("--params must be a JSON object")
 
@@ -604,9 +623,9 @@ def _cmd_request(args) -> str:
                 args.op, params, timeout=args.timeout, on_progress=on_progress
             )
     except ReproError as exc:
-        raise SystemExit(f"error: {exc}")
+        raise SystemExit(f"error: {exc}") from exc
     except OSError as exc:
-        raise SystemExit(f"connection failed: {exc}")
+        raise SystemExit(f"connection failed: {exc}") from exc
     # canonical JSON on stdout: identical requests print identical bytes
     return canonical_json(payload)
 
@@ -625,6 +644,7 @@ _HANDLERS = {
     "profile": _cmd_profile,
     "restore": _cmd_restore,
     "snapshot": _cmd_snapshot,
+    "lint": _cmd_lint,
     "serve": _cmd_serve,
     "request": _cmd_request,
 }

@@ -75,7 +75,7 @@ def degree_vector(csr: CSRGraph) -> dict[int, int]:
     deg = csr.degree_array()
     deg = deg[deg >= 1]
     ks, counts = np.unique(deg, return_counts=True)
-    return {int(k): int(c) for k, c in zip(ks, counts)}
+    return {int(k): int(c) for k, c in zip(ks, counts, strict=True)}
 
 
 def degree_distribution(csr: CSRGraph) -> dict[int, float]:
@@ -110,7 +110,7 @@ def joint_degree_matrix(csr: CSRGraph) -> dict[DegreePair, int]:
     keys = src_deg * stride + dst_deg
     uniq, counts = np.unique(keys, return_counts=True)
     m: dict[DegreePair, int] = {}
-    for key, c in zip(uniq.tolist(), counts.tolist()):
+    for key, c in zip(uniq.tolist(), counts.tolist(), strict=True):
         k, kp = divmod(key, stride)
         m[(k, kp)] = c // 2 if k == kp else c
     return m
@@ -257,7 +257,7 @@ def degree_dependent_clustering(csr: CSRGraph) -> dict[int, float]:
     ks, inverse, counts = np.unique(deg, return_inverse=True, return_counts=True)
     sums = np.zeros(ks.shape[0], dtype=np.float64)
     np.add.at(sums, inverse, local)
-    return {int(k): float(s / c) for k, s, c in zip(ks, sums, counts)}
+    return {int(k): float(s / c) for k, s, c in zip(ks, sums, counts, strict=True)}
 
 
 def neighbor_connectivity(csr: CSRGraph) -> dict[int, float]:
@@ -294,7 +294,7 @@ def neighbor_connectivity(csr: CSRGraph) -> dict[int, float]:
     )
     sums = np.zeros(ks.shape[0], dtype=np.float64)
     np.add.at(sums, inverse, per_node)
-    return {int(k): float(s / c) for k, s, c in zip(ks, sums, class_counts)}
+    return {int(k): float(s / c) for k, s, c in zip(ks, sums, class_counts, strict=True)}
 
 
 def shared_partner_distribution(csr: CSRGraph) -> dict[int, float]:
@@ -330,7 +330,7 @@ def shared_partner_distribution(csr: CSRGraph) -> dict[int, float]:
         np.rint(shared).astype(np.int64), return_counts=True
     )
     effective = rows.size
-    return {int(s): float(c / effective) for s, c in zip(values, value_counts)}
+    return {int(s): float(c / effective) for s, c in zip(values, value_counts, strict=True)}
 
 
 # ----------------------------------------------------------------------
@@ -411,7 +411,7 @@ def traversed_pair_counts(degree_sequence: np.ndarray) -> dict[DegreePair, int]:
     keys = np.concatenate([a * stride + b, b * stride + a])
     uniq, counts = np.unique(keys, return_counts=True)
     out: dict[DegreePair, int] = {}
-    for key, c in zip(uniq.tolist(), counts.tolist()):
+    for key, c in zip(uniq.tolist(), counts.tolist(), strict=True):
         k, kp = divmod(key, stride)
         out[(k, kp)] = c
     return out

@@ -966,7 +966,7 @@ class CSRRewiringCore:
         """
         ks = self._ks
         pairs = sorted(
-            (int(ks[ci]), float(v)) for ci, v in zip(cls_arr, val_arr)
+            (int(ks[ci]), float(v)) for ci, v in zip(cls_arr, val_arr, strict=True)
         )
         return self._eval_sorted(pairs), dict(pairs)
 

@@ -338,7 +338,7 @@ def freeze_stream(
         target = indptr[lo] * itemsize + window
         hi = int(np.searchsorted(indptr * itemsize, target, side="right")) - 1
         bounds.append(min(max(hi, lo + 1), n))
-    for lo, hi in zip(bounds, bounds[1:]):
+    for lo, hi in zip(bounds, bounds[1:], strict=False):
         first, last = int(indptr[lo]), int(indptr[hi])
         if first == last:
             continue

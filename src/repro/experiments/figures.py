@@ -92,7 +92,7 @@ def figure3_series(
     out: dict[str, dict[str, list[float]]] = {
         d: {m: [] for m in s.methods} for d in datasets
     }
-    for (dataset, _), aggregates in zip(grid, map_cells(cells, context)):
+    for (dataset, _), aggregates in zip(grid, map_cells(cells, context), strict=True):
         for m in s.methods:
             out[dataset][m].append(aggregates[m].average_l1)
     return out

@@ -163,7 +163,7 @@ def run_sweep(
     cells = list(grid.cells(context))
 
     results: list[SweepCellResult] = []
-    for config, aggregates in zip(cells, map_cells(cells, context)):
+    for config, aggregates in zip(cells, map_cells(cells, context), strict=True):
         results.append(SweepCellResult(config=config, aggregates=aggregates))
         if csv_path is not None:
             _write_checkpoint(results, csv_path)

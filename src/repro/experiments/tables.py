@@ -94,7 +94,7 @@ def _run_cells(
     cells = context.materialize(
         _cell(d, settings, fraction=fraction) for d in datasets
     )
-    return dict(zip(datasets, map_cells(cells, context)))
+    return dict(zip(datasets, map_cells(cells, context), strict=True))
 
 
 # ----------------------------------------------------------------------

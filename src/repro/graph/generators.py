@@ -356,7 +356,7 @@ def relabel_shuffled(
     ids = list(graph.nodes())
     shuffled = ids[:]
     r.shuffle(shuffled)
-    mapping = dict(zip(ids, shuffled))
+    mapping = dict(zip(ids, shuffled, strict=True))
     out = MultiGraph()
     for u in ids:
         out.add_node(mapping[u])

@@ -32,7 +32,7 @@ def write_edge_list(graph: MultiGraph, path: str | os.PathLike) -> None:
 def read_edge_list(path: str | os.PathLike) -> MultiGraph:
     """Read a graph previously written by :func:`write_edge_list` (or any
     whitespace-separated integer edge list with ``#`` comments)."""
-    with open(path, "r", encoding="utf-8") as f:
+    with open(path, encoding="utf-8") as f:
         return parse_edge_list(f)
 
 

@@ -1,0 +1,116 @@
+"""The committed baseline: grandfathered findings, nothing else.
+
+A baseline entry says "this finding is known, justified, and must not
+fail the build" — the mechanism that let the linter land with real
+findings still in the tree.  The file is canonical JSON (sorted entries,
+sorted keys, two-space indent, trailing newline), so
+``repro lint --write-baseline`` regenerates it byte-for-byte from the
+current tree — a test pins that property, which is what keeps the file
+reviewable in diffs instead of drifting formats.
+
+Matching is by ``(path, rule, message)`` with multiplicity, *not* by
+line number: unrelated edits move lines constantly, and a baseline that
+invalidated itself on every reflow would get deleted, not maintained.
+Line numbers are still recorded for the human reading the file, and a
+``note`` field carries the justification — notes survive regeneration
+as long as their entry still matches a live finding.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.diagnostics import Diagnostic
+
+BASELINE_VERSION = 1
+
+_MatchKey = tuple[str, str, str]
+
+
+def _key(diag: Diagnostic) -> _MatchKey:
+    return (diag.path, diag.rule, diag.message)
+
+
+def load_baseline(path: Path) -> list[dict[str, object]]:
+    """The baseline's entry list; empty when the file doesn't exist."""
+    if not path.is_file():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("findings", [])
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: 'findings' must be a list")
+    return entries
+
+
+def split_baselined(
+    findings: list[Diagnostic], entries: list[dict[str, object]]
+) -> tuple[list[Diagnostic], list[Diagnostic], int]:
+    """Partition ``findings`` against the baseline.
+
+    Returns ``(fresh, baselined, stale)``: findings the baseline does not
+    cover (these fail the run), findings it grandfathers, and the count
+    of baseline entries matching nothing in the tree anymore (stale —
+    reported so they get pruned, but never failing: a fix should not
+    redden the build for outrunning the baseline file).
+    """
+    budget = Counter(
+        (str(e.get("path")), str(e.get("rule")), str(e.get("message")))
+        for e in entries
+    )
+    fresh: list[Diagnostic] = []
+    baselined: list[Diagnostic] = []
+    for diag in findings:
+        key = _key(diag)
+        if budget[key] > 0:
+            budget[key] -= 1
+            baselined.append(diag)
+        else:
+            fresh.append(diag)
+    stale = sum(budget.values())
+    return fresh, baselined, stale
+
+
+def render_baseline(
+    findings: list[Diagnostic], previous: list[dict[str, object]]
+) -> str:
+    """Canonical baseline text for ``findings``.
+
+    Justification ``note`` fields from ``previous`` are re-attached to
+    entries that still match (first-come in sorted order), so
+    regeneration never loses the reasons humans wrote down.
+    """
+    notes: dict[_MatchKey, list[str]] = {}
+    for entry in previous:
+        note = entry.get("note")
+        if isinstance(note, str) and note:
+            key = (
+                str(entry.get("path")),
+                str(entry.get("rule")),
+                str(entry.get("message")),
+            )
+            notes.setdefault(key, []).append(note)
+    entries = []
+    for diag in sorted(findings):
+        entry: dict[str, object] = {
+            "path": diag.path,
+            "line": diag.line,
+            "rule": diag.rule,
+            "message": diag.message,
+        }
+        remaining = notes.get(_key(diag))
+        if remaining:
+            entry["note"] = remaining.pop(0)
+        entries.append(entry)
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(
+    path: Path, findings: list[Diagnostic], previous: list[dict[str, object]]
+) -> str:
+    """Write the canonical baseline for ``findings``; returns the text."""
+    text = render_baseline(findings, previous)
+    path.write_text(text, encoding="utf-8")
+    return text

@@ -1,0 +1,109 @@
+"""Command-line front ends: ``repro lint`` and ``python -m repro.lint``.
+
+Exit codes follow the usual linter convention: ``0`` — clean (every
+finding baselined or none), ``1`` — at least one non-baselined finding,
+``2`` — usage errors.  Output is one ``path:line:col: RULE message``
+line per finding plus a one-line summary, so CI logs read like any
+other linter's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.config import LintConfig, default_config
+from repro.lint.diagnostics import format_diagnostic
+from repro.lint.rules import rule_catalog
+from repro.lint.runner import lint_paths, run_lint
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """The lint flags, shared by the ``repro lint`` subcommand."""
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: src tests benchmarks scripts)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="repository root (default: nearest ancestor with pyproject.toml)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline file (default: reprolint-baseline.json under the root)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the committed baseline (report every finding)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        print(rule_catalog())
+        return 0
+    config = default_config(args.root)
+    if args.baseline is not None:
+        baseline = args.baseline
+        if not baseline.is_absolute():
+            baseline = Path.cwd() / baseline
+        try:
+            rel = baseline.resolve().relative_to(config.root.resolve()).as_posix()
+        except ValueError:
+            print(
+                f"error: --baseline {args.baseline} is outside the root "
+                f"{config.root}", file=sys.stderr,
+            )
+            return 2
+        config = LintConfig(root=config.root, baseline_path=rel)
+    paths = list(args.paths) or None
+
+    if args.write_baseline:
+        findings, _ = lint_paths(config, paths)
+        baseline_file = config.root / config.baseline_path
+        previous = load_baseline(baseline_file)
+        write_baseline(baseline_file, findings, previous)
+        print(f"wrote {baseline_file} ({len(findings)} finding(s))")
+        return 0
+
+    result = run_lint(config, paths, use_baseline=not args.no_baseline)
+    for diag in result.fresh:
+        print(format_diagnostic(diag))
+    summary = (
+        f"{len(result.fresh)} finding(s) in {result.files} file(s)"
+        f" ({len(result.baselined)} baselined"
+    )
+    if result.stale_baseline_entries:
+        summary += (
+            f", {result.stale_baseline_entries} stale baseline entr"
+            + ("y" if result.stale_baseline_entries == 1 else "ies")
+            + " — rerun with --write-baseline to prune"
+        )
+    summary += ")"
+    print(summary)
+    return 0 if result.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.lint`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based determinism & contract linter for this repo",
+    )
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Diagnostics: the one value every lint rule produces.
+
+A :class:`Diagnostic` is a frozen ``(path, line, col, rule, message)``
+tuple with a stable total order, so a lint run's output — and therefore
+the committed baseline — is a deterministic function of the tree.  Paths
+are always POSIX-style and repo-relative, which keeps diagnostics (and
+the baseline file) byte-identical across machines and platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: where it is, which rule fired, and why.
+
+    The field order *is* the sort order: findings group by file, then by
+    position, then by rule id — the order ``repro lint`` prints and the
+    baseline file records.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+
+def format_diagnostic(diag: Diagnostic) -> str:
+    """``path:line:col: RULE message`` — the one-line human rendering."""
+    return f"{diag.path}:{diag.line}:{diag.col}: {diag.rule} {diag.message}"

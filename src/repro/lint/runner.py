@@ -1,0 +1,161 @@
+"""The lint run: walk, parse, check, suppress, baseline.
+
+:func:`run_lint` is the single pipeline both entry points (``repro
+lint`` and ``python -m repro.lint``) and the tests share:
+
+1. discover ``*.py`` files under the configured targets (sorted walk —
+   diagnostics order is a function of the tree, not the filesystem),
+2. parse each file once into a shared :class:`~repro.lint.rules.ModuleContext`
+   (files that do not parse yield a ``REP000`` finding and are skipped),
+3. run every per-file rule, then the cross-file contract rules over the
+   whole index,
+4. apply inline suppressions and surface unused ones as ``REP001``,
+5. partition against the committed baseline.
+
+The result is a plain :class:`LintResult` value; rendering and exit
+codes live in :mod:`repro.lint.cli`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.baseline import load_baseline, split_baselined
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import PROJECT_RULES, ProjectIndex
+from repro.lint.rules import FILE_RULES, ModuleContext, Rule
+from repro.lint.suppress import Suppressions, parse_suppressions
+
+PARSE_ERROR_RULE = Rule(
+    "REP000", "parse-error", "file must parse (unsuppressible)"
+)
+UNUSED_SUPPRESSION = Rule(
+    "REP001", "unused-suppression", "every suppression comment must silence a finding"
+)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    #: findings not covered by the baseline — these fail the run
+    fresh: list[Diagnostic] = field(default_factory=list)
+    #: findings the committed baseline grandfathers
+    baselined: list[Diagnostic] = field(default_factory=list)
+    #: baseline entries matching nothing anymore (prune candidates)
+    stale_baseline_entries: int = 0
+    #: files walked
+    files: int = 0
+
+    @property
+    def all_findings(self) -> list[Diagnostic]:
+        """Fresh + baselined, in diagnostic order (the baseline input)."""
+        return sorted(self.fresh + self.baselined)
+
+    @property
+    def ok(self) -> bool:
+        return not self.fresh
+
+
+def discover_files(config: LintConfig, paths: list[Path] | None = None) -> list[Path]:
+    """The sorted ``*.py`` file list of one run.
+
+    ``paths`` overrides the configured targets (explicit files are taken
+    as-is, directories are walked); the default walks every configured
+    target that exists under the root.
+    """
+    roots: list[Path]
+    if paths:
+        roots = [p if p.is_absolute() else config.root / p for p in paths]
+    else:
+        roots = [config.root / target for target in config.targets]
+    files: set[Path] = set()
+    for root in roots:
+        if root.is_file() and root.suffix == ".py":
+            files.add(root)
+        elif root.is_dir():
+            for path in root.rglob("*.py"):
+                if not any(part in config.exclude_parts for part in path.parts):
+                    files.add(path)
+    return sorted(files)
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    config: LintConfig, paths: list[Path] | None = None
+) -> tuple[list[Diagnostic], int]:
+    """All post-suppression findings of one run (no baseline applied).
+
+    Returns ``(findings, file count)``; this is the raw stream both
+    ``--write-baseline`` and the normal run consume.
+    """
+    files = discover_files(config, paths)
+    modules: dict[str, ModuleContext] = {}
+    suppressions: dict[str, Suppressions] = {}
+    findings: list[Diagnostic] = []
+    for path in files:
+        relpath = _relpath(path, config.root)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            findings.append(
+                Diagnostic(
+                    path=relpath,
+                    line=line,
+                    col=1,
+                    rule=PARSE_ERROR_RULE.id,
+                    message=f"file does not parse: {exc.__class__.__name__}",
+                )
+            )
+            continue
+        suppressions[relpath] = parse_suppressions(source)
+        modules[relpath] = ModuleContext.build(relpath, tree, config)
+
+    for relpath in sorted(modules):
+        ctx = modules[relpath]
+        for rule in FILE_RULES:
+            findings.extend(rule.check(ctx))
+    index = ProjectIndex(modules=modules, config=config)
+    for project_rule in PROJECT_RULES:
+        findings.extend(project_rule.check(index))
+
+    kept: list[Diagnostic] = []
+    for diag in findings:
+        if diag.rule == PARSE_ERROR_RULE.id:
+            kept.append(diag)  # a broken file cannot suppress anything
+            continue
+        table = suppressions.get(diag.path)
+        if table is not None and table.matches(diag.line, diag.rule):
+            continue
+        kept.append(diag)
+    for relpath, table in suppressions.items():
+        kept.extend(table.unused(relpath))
+    return sorted(kept), len(files)
+
+
+def run_lint(
+    config: LintConfig,
+    paths: list[Path] | None = None,
+    use_baseline: bool = True,
+) -> LintResult:
+    """One full lint run, baseline applied."""
+    findings, file_count = lint_paths(config, paths)
+    result = LintResult(files=file_count)
+    entries = (
+        load_baseline(config.root / config.baseline_path) if use_baseline else []
+    )
+    result.fresh, result.baselined, result.stale_baseline_entries = split_baselined(
+        findings, entries
+    )
+    return result

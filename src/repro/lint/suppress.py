@@ -1,0 +1,87 @@
+"""Inline suppressions: ``# reprolint: disable=REP101[,REP102...]``.
+
+A suppression comment silences the named rules *on its own line only* —
+there is no block or file scope, which keeps every grandfathered finding
+visible at its exact location.  Comments are read with :mod:`tokenize`
+(not a text scan), so the marker inside a string literal is never
+mistaken for a directive.
+
+Every suppression must earn its keep: one that silences nothing raises
+``REP001`` (unused suppression) at its own location.  That check is what
+lets the team delete stale pragmas the moment a rule or the code moves —
+without it, suppressions would accrete forever.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.diagnostics import Diagnostic
+
+#: The directive grammar.  ``disable=`` takes a comma-separated list of
+#: rule ids; anything after the list (e.g. a justification) is free text.
+_DIRECTIVE = re.compile(r"#\s*reprolint:\s*disable=([A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)")
+
+UNUSED_SUPPRESSION_RULE = "REP001"
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression table plus usage tracking."""
+
+    #: line -> {rule id -> column of the directive}
+    by_line: dict[int, dict[str, int]] = field(default_factory=dict)
+    #: (line, rule) pairs that silenced at least one finding
+    used: set[tuple[int, str]] = field(default_factory=set)
+
+    def matches(self, line: int, rule: str) -> bool:
+        """True (and marked used) when ``rule`` is suppressed on ``line``."""
+        if rule in self.by_line.get(line, {}):
+            self.used.add((line, rule))
+            return True
+        return False
+
+    def unused(self, path: str) -> list[Diagnostic]:
+        """``REP001`` findings for every directive that silenced nothing."""
+        out = []
+        for line, rules in self.by_line.items():
+            for rule, col in rules.items():
+                if (line, rule) not in self.used:
+                    out.append(
+                        Diagnostic(
+                            path=path,
+                            line=line,
+                            col=col,
+                            rule=UNUSED_SUPPRESSION_RULE,
+                            message=f"unused suppression of {rule}",
+                        )
+                    )
+        return out
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """The suppression table of one file's source text.
+
+    Tolerates files :mod:`tokenize` rejects (the parse rule reports those
+    separately) by returning an empty table.
+    """
+    table = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(tok.string)
+            if match is None:
+                continue
+            line = tok.start[0]
+            col = tok.start[1] + match.start() + 1
+            per_line = table.by_line.setdefault(line, {})
+            for rule in match.group(1).split(","):
+                per_line.setdefault(rule.strip(), col)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return Suppressions()
+    return table

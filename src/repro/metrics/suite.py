@@ -143,13 +143,13 @@ def compute_properties(
     paths = shortest_path_stats(
         graph,
         num_sources=cfg.sources_for(graph),
-        rng=random.Random(rng.random()),
+        rng=random.Random(rng.getrandbits(64)),
         backend=cfg.backend,
     )
     betweenness = degree_dependent_betweenness(
         graph,
         num_pivots=cfg.pivots_for(graph),
-        rng=random.Random(rng.random()),
+        rng=random.Random(rng.getrandbits(64)),
         backend=cfg.backend,
     )
     return PropertySet(

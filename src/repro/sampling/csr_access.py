@@ -92,7 +92,7 @@ class CSRGraphAccess(GraphAccess):
         walks = [SamplingList() for _ in range(num_walks)]
         node_list = csr.node_list
         for _ in range(cap):
-            for walk, i in zip(walks, current.tolist()):
+            for walk, i in zip(walks, current.tolist(), strict=True):
                 node = node_list[i]
                 walk.record(node, self.query(node))
             if self.num_queried >= target_queried:
@@ -120,7 +120,7 @@ def _start_positions(
     try:
         return np.asarray([csr.index[s] for s in seeds], dtype=np.int64)
     except KeyError as exc:
-        raise SamplingError(f"seed node {exc.args[0]!r} does not exist")
+        raise SamplingError(f"seed node {exc.args[0]!r} does not exist") from exc
 
 
 def _advance(

@@ -27,7 +27,8 @@ def ensure_rng(rng: random.Random | int | None = None) -> random.Random:
         pipeline and keep the whole run reproducible).
     """
     if rng is None:
-        return random.Random()
+        # Documented escape hatch: ``None`` explicitly requests OS entropy.
+        return random.Random()  # reprolint: disable=REP101 caller opted out of determinism
     if isinstance(rng, random.Random):
         return rng
     if isinstance(rng, int):

@@ -19,7 +19,7 @@ def build_gallery(svg_paths: list[str], title: str = "Figure 4") -> str:
     """
     panels: list[str] = []
     for path in svg_paths:
-        with open(path, "r", encoding="utf-8") as f:
+        with open(path, encoding="utf-8") as f:
             svg = f.read()
         label = _label_from_path(path)
         panels.append(

@@ -214,7 +214,7 @@ class TestExecutors:
         window = 2 * PREFETCH_FACTOR
         out = []
         for consumed, result in enumerate(
-            ProcessPoolExecutor(2).map(lambda x: x * x, items)
+            ProcessPoolExecutor(2).map(lambda x: x * x, items)  # reprolint: disable=REP201 fake in-process pool, never pickled
         ):
             # head window + one refill window per completed-head wake
             assert items.pulled <= min(window * (consumed + 2), 20)
@@ -239,7 +239,7 @@ class TestExecutors:
                 raise ValueError("boom")
             return x
 
-        gen = ProcessPoolExecutor(2).map(fn, items)
+        gen = ProcessPoolExecutor(2).map(fn, items)  # reprolint: disable=REP201 fake in-process pool, never pickled
         assert next(gen) == 0
         assert next(gen) == 1
         with pytest.raises(ValueError, match="boom"):
@@ -333,7 +333,7 @@ class TestSerialParallelEquivalence:
             parallel, include_timings=False
         )
         # and so are the underlying per-property aggregates, exactly
-        for s_cell, p_cell in zip(serial, parallel):
+        for s_cell, p_cell in zip(serial, parallel, strict=True):
             assert s_cell.config == p_cell.config
             for method in s_cell.aggregates:
                 assert (

@@ -113,7 +113,7 @@ def test_batched_walks_stay_on_edges(social_graph):
     walks = batched_random_walks(csr, num_walks=6, length=40, rng=11)
     assert walks.shape == (6, 41)
     for row in walks:
-        for a, b in zip(row[:-1], row[1:]):
+        for a, b in zip(row[:-1], row[1:], strict=False):
             u = csr.node_list[a]
             v = csr.node_list[b]
             assert social_graph.multiplicity(u, v) > 0
@@ -138,7 +138,7 @@ def test_traversed_pair_counts_matches_loop():
     degs = [2, 3, 3, 2, 5]
     counts = kernels.traversed_pair_counts(np.asarray(degs))
     ref: dict[tuple[int, int], int] = {}
-    for a, b in zip(degs[:-1], degs[1:]):
+    for a, b in zip(degs[:-1], degs[1:], strict=False):
         ref[(a, b)] = ref.get((a, b), 0) + 1
         ref[(b, a)] = ref.get((b, a), 0) + 1
     assert counts == ref
@@ -180,7 +180,7 @@ def test_resolve_backend_per_kernel_thresholds():
         assert resolve_backend("auto", size=threshold, kernel=kernel) == "csr"
     # unknown kernels fall back to the global default
     assert (
-        resolve_backend("auto", size=AUTO_EDGE_THRESHOLD, kernel="mystery")
+        resolve_backend("auto", size=AUTO_EDGE_THRESHOLD, kernel="mystery")  # reprolint: disable=REP302 fallback path under test
         == "csr"
     )
 

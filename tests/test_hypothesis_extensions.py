@@ -30,7 +30,7 @@ def test_ccdf_is_monotone_nonincreasing(pmf):
     out = ccdf(pmf)
     xs = sorted(out)
     values = [out[x] for x in xs]
-    assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+    assert all(a >= b - 1e-12 for a, b in zip(values, values[1:], strict=False))
     assert abs(values[0] - 1.0) < 1e-9  # smallest support point covers all
 
 

@@ -36,7 +36,7 @@ def synthetic_estimates(draw):
     )
     weights = [draw(st.floats(0.05, 1.0)) for _ in degrees]
     total = sum(weights)
-    pk = {k: w / total for k, w in zip(degrees, weights)}
+    pk = {k: w / total for k, w in zip(degrees, weights, strict=True)}
 
     pairs = draw(
         st.lists(

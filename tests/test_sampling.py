@@ -109,7 +109,7 @@ class TestRandomWalk:
     def test_degree_sequence_alignment(self, social_walk, social_graph):
         degs = social_walk.degree_sequence()
         assert len(degs) == social_walk.length
-        for node, d in zip(social_walk.nodes, degs):
+        for node, d in zip(social_walk.nodes, degs, strict=True):
             assert d == social_graph.degree(node)
 
     def test_degree_of_unvisited_raises(self, social_walk):

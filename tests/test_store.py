@@ -354,7 +354,7 @@ class TestKernelsOnStoredSnapshots:
             try:
                 a = independent_batched_walks(csr, 4, 12, rng=3)
                 b = independent_batched_walks(shared, 4, 12, rng=3)
-                for wa, wb in zip(a, b):
+                for wa, wb in zip(a, b, strict=True):
                     assert wa.nodes == wb.nodes
                     assert wa.neighbors == wb.neighbors
             finally:
@@ -397,7 +397,7 @@ class TestIndependentWalksEquivalence:
         csr = freeze(g)
         got = independent_batched_walks(csr, 5, 9, rng=seed)
         ref = _reference_independent_walks(csr, 5, 9, rng=seed)
-        for a, b in zip(got, ref):
+        for a, b in zip(got, ref, strict=True):
             assert a.nodes == b.nodes
             assert list(a.neighbors) == list(b.neighbors)  # insertion order
             assert a.neighbors == b.neighbors
@@ -409,7 +409,7 @@ class TestIndependentWalksEquivalence:
         csr = freeze(g)
         got = independent_batched_walks(csr, 3, 3, rng=11)
         ref = _reference_independent_walks(csr, 3, 3, rng=11)
-        for a, b in zip(got, ref):
+        for a, b in zip(got, ref, strict=True):
             assert a.nodes == b.nodes
             assert a.neighbors == b.neighbors
 
@@ -421,7 +421,7 @@ class TestIndependentWalksEquivalence:
         vectorized = independent_batched_walks(csr, 4, 8, rng=7)
         monkeypatch.setattr(csr_access, "_SEEN_MATRIX_BYTES", 0)
         fallback = independent_batched_walks(csr, 4, 8, rng=7)
-        for a, b in zip(vectorized, fallback):
+        for a, b in zip(vectorized, fallback, strict=True):
             assert a.nodes == b.nodes
             assert a.neighbors == b.neighbors
 
