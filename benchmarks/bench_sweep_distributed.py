@@ -1,0 +1,139 @@
+"""Distributed sweep benchmark: two localhost socket workers vs serial.
+
+Runs the same multi-cell sweep twice through ``run_sweep`` — once under
+``RunContext(jobs=1)`` and once under ``RunContext(workers=(addr, addr))``
+with two ``repro worker`` agent subprocesses dialed into the coordinator —
+from an equally cold dataset cache, so each side pays its real end-to-end
+cost (the serial run builds each dataset once in process; each agent
+rebuilds the datasets it actually touches, once, on first touch).
+
+Two assertions:
+
+* **bit-identity** — the deterministic aggregate CSV of the distributed
+  run is byte-identical to the serial run's (the executor contract).
+  Asserted ALWAYS, on any hardware.
+* **speedup** — two agents on a 4-cell grid must beat
+  :data:`TARGET_SPEEDUP` wall-clock.  Only enforced with >= 2 CPUs: on a
+  single-CPU machine two agents time-slice one core plus pay socket and
+  pickle overhead, so no speedup is physically possible; the measurement
+  is still recorded with its CPU count.
+
+The speedup bar is lower than ``bench_sweep_parallel``'s: the socket path
+adds handshake, framing, and per-agent dataset rebuild costs that the
+fork-based pool does not pay.
+
+Knobs (environment):
+
+    BENCH_SWEEP_SCALE      dataset scale            (default 0.5)
+    BENCH_SWEEP_RUNS       runs per cell            (default 2)
+    BENCH_SWEEP_RC         rewiring coefficient     (default 10)
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+from conftest import BENCH_EVAL, write_json
+
+from repro.api import RunContext, run_sweep, sweep_to_csv
+from repro.experiments.sweeps import SweepGrid
+from repro.graph.datasets import clear_dataset_cache
+
+SCALE = float(os.environ.get("BENCH_SWEEP_SCALE", "0.5"))
+RUNS = int(os.environ.get("BENCH_SWEEP_RUNS", "2"))
+RC = float(os.environ.get("BENCH_SWEEP_RC", "10"))
+
+TARGET_SPEEDUP = 1.4  # 2 socket agents on a 4-cell grid; see module docstring
+SEED = 7
+PORT = 39431
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _grid() -> SweepGrid:
+    return SweepGrid(
+        datasets=("anybeat", "brightkite"),
+        fractions=(0.10, 0.15),
+        rcs=(RC,),
+        runs=RUNS,
+        methods=("rw", "gjoka", "proposed"),
+        scale=SCALE,
+        evaluation=BENCH_EVAL,
+    )
+
+
+def _spawn_worker() -> subprocess.Popen:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(_REPO_ROOT / "src"), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "worker", "--connect", f"127.0.0.1:{PORT}"],
+        env=env,
+        cwd=str(_REPO_ROOT),
+    )
+
+
+def _timed_serial():
+    clear_dataset_cache()
+    start = time.perf_counter()
+    results = run_sweep(_grid(), context=RunContext(seed=SEED, jobs=1))
+    return results, time.perf_counter() - start
+
+
+def _timed_distributed():
+    clear_dataset_cache()
+    agents = [_spawn_worker(), _spawn_worker()]
+    try:
+        start = time.perf_counter()
+        context = RunContext(seed=SEED, workers=(f"127.0.0.1:{PORT}",) * 2)
+        results = run_sweep(_grid(), context=context)
+        return results, time.perf_counter() - start
+    finally:
+        for agent in agents:
+            if agent.poll() is None:
+                agent.kill()
+            agent.wait(timeout=30)
+
+
+def test_bench_sweep_distributed(results_dir):
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+    enforce = cpus >= 2
+
+    serial, t_serial = _timed_serial()
+    distributed, t_distributed = _timed_distributed()
+
+    serial_csv = sweep_to_csv(serial, include_timings=False)
+    distributed_csv = sweep_to_csv(distributed, include_timings=False)
+    assert serial_csv == distributed_csv  # the contract holds on any hardware
+
+    speedup = t_serial / t_distributed
+    payload = {
+        "cpus": cpus,
+        "speedup_guard_enforced": enforce,
+        "grid": {
+            "datasets": ["anybeat", "brightkite"],
+            "fractions": [0.10, 0.15],
+            "cells": _grid().size(),
+            "runs_per_cell": RUNS,
+            "rc": RC,
+            "scale": SCALE,
+            "methods": ["rw", "gjoka", "proposed"],
+        },
+        "serial_seconds": t_serial,
+        "distributed_seconds": t_distributed,
+        "workers": 2,
+        "speedup": speedup,
+        "target_speedup": TARGET_SPEEDUP,
+        "bit_identical_csv": serial_csv == distributed_csv,
+    }
+    write_json("bench_sweep_distributed.json", payload)
+
+    if enforce:
+        assert speedup >= TARGET_SPEEDUP, payload

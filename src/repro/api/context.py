@@ -12,6 +12,9 @@ that plumbing into a single immutable value that travels with the work:
   histogram kernels make this feasible at 10^5-node scale),
 * ``jobs`` — worker-process count for the executor layer
   (:mod:`repro.api.executors`),
+* ``workers`` — coordinator addresses for the distributed tier
+  (:mod:`repro.api.distributed`); when set, execution shards across
+  ``repro worker`` agents instead of a local pool,
 * ``granularity`` — the unit of parallel work: whole cells, single runs,
   or ``"auto"`` (run-level when cells alone cannot fill the workers).
 
@@ -87,6 +90,17 @@ class RunContext:
     jobs:
         Worker processes for sweep execution; ``1`` runs serially in
         process.  Either way results arrive in deterministic cell order.
+    workers:
+        ``"host:port"`` coordinator addresses for multi-host execution,
+        one entry per expected ``repro worker`` agent (repeat an address
+        to expect several agents on it).  When set, the sweep runs on
+        the distributed tier (:mod:`repro.api.distributed`) instead of a
+        local pool — mutually exclusive with ``jobs > 1``, since the
+        agents *are* the parallelism.  Shared-memory publication is
+        per-host and therefore skipped; remote agents rebuild datasets,
+        snapshots, and truth PropertySets through the same per-process
+        name-keyed caches local pool workers use, so results stay
+        bit-identical.  ``None`` (the default) means local execution.
     granularity:
         The unit of work the executor schedules: ``"cell"`` ships whole
         (dataset, fraction) cells to workers (each does its own
@@ -125,6 +139,7 @@ class RunContext:
     granularity: str = "auto"
     shared_memory: bool = True
     fault_policy: FaultPolicy | None = None
+    workers: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKENDS:
@@ -138,6 +153,44 @@ class RunContext:
                 f"unknown granularity {self.granularity!r}; "
                 f"expected one of {_GRANULARITIES}"
             )
+        if self.workers is not None:
+            from repro.api.distributed import parse_address
+
+            workers = tuple(self.workers)
+            if not workers:
+                raise ExperimentError(
+                    "workers must list at least one host:port address "
+                    "(or be None for local execution)"
+                )
+            for address in workers:
+                parse_address(address)
+            if self.jobs > 1:
+                raise ExperimentError(
+                    "jobs > 1 and workers are mutually exclusive: the "
+                    "worker agents are the parallelism"
+                )
+            object.__setattr__(self, "workers", workers)
+
+    # ------------------------------------------------------------------
+    # parallel shape
+    # ------------------------------------------------------------------
+    @property
+    def parallelism(self) -> int:
+        """How many items can execute at once under this context."""
+        if self.workers:
+            return len(self.workers)
+        return self.jobs
+
+    def for_worker(self) -> "RunContext":
+        """The context a work-item carries into a worker.
+
+        Always single-job and never distributed — a cell executing
+        inside a pool or on a remote agent must not open a nested pool
+        or, worse, its own coordinator.
+        """
+        if self.jobs == 1 and self.workers is None:
+            return self
+        return replace(self, jobs=1, workers=None)
 
     # ------------------------------------------------------------------
     # scheduling
@@ -147,14 +200,16 @@ class RunContext:
 
         An explicit ``granularity`` always wins.  ``"auto"`` resolves to
         ``"run"`` only when the cell count alone cannot occupy the
-        workers (``cells < jobs`` — the single-cell Table V shape);
-        otherwise cells stay the unit, which amortizes the truth
-        PropertySet and per-item overhead best.  With ``jobs=1`` auto is
-        always ``"cell"`` (fan-out buys nothing in process).
+        parallel capacity (``cells < parallelism`` — the single-cell
+        Table V shape), whether that capacity is local pool processes or
+        remote worker agents; otherwise cells stay the unit, which
+        amortizes the truth PropertySet and per-item overhead best.
+        With ``parallelism == 1`` auto is always ``"cell"`` (fan-out
+        buys nothing in process).
         """
         if self.granularity != "auto":
             return self.granularity
-        return "run" if cells < self.jobs else "cell"
+        return "run" if cells < self.parallelism else "cell"
 
     # ------------------------------------------------------------------
     # seed spawning

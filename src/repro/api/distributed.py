@@ -1,0 +1,665 @@
+"""Stdlib-only multi-host execution tier: socket transport + worker agent.
+
+This is the third :class:`~repro.api.scheduler.Transport`: a coordinator
+work-queue speaking length-prefixed frames over TCP to ``repro worker``
+agents, so a sweep can shard across hosts while keeping the execution
+contract intact — pre-spawned seeds, deterministic result order,
+byte-identical ``include_timings=False`` CSVs.
+
+Topology
+--------
+The coordinator (the process running the sweep) is the *server*: it
+binds every distinct ``host:port`` in ``RunContext.workers`` and waits
+for exactly ``len(workers)`` agents to dial in with
+``repro worker --connect HOST:PORT``.  Fixed membership keeps startup
+deterministic — the sweep begins only once every expected agent has
+completed its handshake, and no agent may join later.
+
+Wire format
+-----------
+Every frame is a 4-byte big-endian length prefix followed by a pickled
+``dict`` with a ``"kind"`` key:
+
+=========== =============================== ===========================
+kind        fields                          direction
+=========== =============================== ===========================
+``hello``   ``wire``, ``fingerprint``       worker → coordinator
+``welcome`` ``fn``                          coordinator → worker
+``reject``  ``reason``                      coordinator → worker
+``task``    ``seq``, ``item``               coordinator → worker
+``result``  ``seq``, ``value``              worker → coordinator
+``error``   ``seq``, ``exc``                worker → coordinator
+``ping``    —                               coordinator → worker
+``pong``    —                               worker → coordinator
+``shutdown`` —                              coordinator → worker
+=========== =============================== ===========================
+
+The handshake pins two things: the wire version (:data:`WIRE_VERSION`)
+and the *repo fingerprint* — a SHA-256 over every ``*.py`` source file
+of the installed :mod:`repro` package.  A worker running different code
+would silently break bit-identity, so it is rejected at connect time
+instead.
+
+Frames are pickled, so this transport is for **trusted networks only**
+(the same trust model as ``multiprocessing`` — anyone who can connect
+can execute code).  Bind to loopback or a private interface.
+
+Failure model
+-------------
+A dead worker (connection drop, or heartbeat silence while idle) fails
+its in-flight items with :class:`~repro.errors.WorkerLostError`; the
+scheduler resubmits them in place, so they reassign deterministically to
+the surviving workers without perturbing delivery order.  A per-item
+timeout is enforced by the scheduler calling :meth:`SocketTransport.forfeit`,
+which drops the worker holding the overdue item — there is no remote
+cancel, so the stuck agent is abandoned along with its connection.  When
+the last worker is gone, everything outstanding fails with
+:class:`~repro.errors.DistributedError`, which is *not* retryable — the
+sweep surfaces the failure instead of spinning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import selectors
+import socket
+import struct
+import time
+from collections import deque
+from collections.abc import Callable, Sequence
+from pathlib import Path
+from typing import Any
+
+from repro.api.scheduler import Pending
+from repro.errors import DistributedError, ExperimentError, WorkerLostError
+
+#: Version of the frame protocol; bumped on any incompatible change and
+#: checked during the handshake so mismatched coordinator/worker builds
+#: fail loudly at connect time.
+WIRE_VERSION = 1
+
+_HEADER = struct.Struct(">I")
+_MAX_FRAME = 1 << 30
+_RECV_CHUNK = 1 << 16
+_HANDSHAKE_TIMEOUT = 10.0
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``, validated."""
+    host, sep, port_text = address.rpartition(":")
+    if not sep or not host:
+        raise ExperimentError(
+            f"worker address must look like host:port, got {address!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ExperimentError(
+            f"worker address has a non-integer port: {address!r}"
+        ) from None
+    if not 1 <= port <= 65535:
+        raise ExperimentError(f"worker port out of range 1..65535: {address!r}")
+    return host, port
+
+
+_fingerprint_cache: str | None = None
+
+
+def repo_fingerprint() -> str:
+    """SHA-256 over every ``*.py`` of the installed :mod:`repro` package.
+
+    Computed from sorted ``(relative_path, file_digest)`` pairs, so it is
+    stable across hosts that run the same source tree and differs on any
+    code change — the handshake uses it to refuse workers whose code
+    could produce different bytes than the coordinator's.
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        acc = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            acc.update(path.relative_to(root).as_posix().encode())
+            acc.update(b"\x00")
+            acc.update(hashlib.sha256(path.read_bytes()).digest())
+        _fingerprint_cache = acc.hexdigest()
+    return _fingerprint_cache
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def send_frame(conn: socket.socket, frame: dict[str, Any]) -> None:
+    """Serialize ``frame`` and write it with a length prefix."""
+    payload = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+    conn.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(conn: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = conn.recv(min(n - got, _RECV_CHUNK))
+        if not chunk:
+            if got:
+                raise DistributedError("connection closed mid-frame")
+            return None
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(conn: socket.socket) -> dict[str, Any] | None:
+    """Read one frame (blocking); ``None`` on clean EOF."""
+    header = _recv_exact(conn, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > _MAX_FRAME:
+        raise DistributedError(f"frame length {length} exceeds limit")
+    payload = _recv_exact(conn, length)
+    if payload is None:
+        raise DistributedError("connection closed mid-frame")
+    frame = pickle.loads(payload)
+    if not isinstance(frame, dict) or "kind" not in frame:
+        raise DistributedError("malformed frame: expected a dict with 'kind'")
+    return frame
+
+
+def decode_frames(buffer: bytearray) -> list[dict[str, Any]]:
+    """Drain every complete frame from a receive ``buffer`` in place."""
+    frames: list[dict[str, Any]] = []
+    while len(buffer) >= _HEADER.size:
+        (length,) = _HEADER.unpack(buffer[: _HEADER.size])
+        if length > _MAX_FRAME:
+            raise DistributedError(f"frame length {length} exceeds limit")
+        end = _HEADER.size + length
+        if len(buffer) < end:
+            break
+        frame = pickle.loads(bytes(buffer[_HEADER.size : end]))
+        del buffer[:end]
+        if not isinstance(frame, dict) or "kind" not in frame:
+            raise DistributedError("malformed frame: expected a dict with 'kind'")
+        frames.append(frame)
+    return frames
+
+
+# ----------------------------------------------------------------------
+# coordinator side
+# ----------------------------------------------------------------------
+class _RemotePending:
+    """Coordinator-side handle for one submitted item."""
+
+    __slots__ = ("seq", "_done", "_value", "_error")
+
+    def __init__(self, seq: int) -> None:
+        self.seq = seq
+        self._done = False
+        self._value: Any = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._done
+
+    def exception(self) -> BaseException | None:
+        return self._error
+
+    def result(self) -> Any:
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _set_result(self, value: Any) -> None:
+        if not self._done:
+            self._done = True
+            self._value = value
+
+    def _set_error(self, error: BaseException) -> None:
+        if not self._done:
+            self._done = True
+            self._error = error
+
+
+class _Agent:
+    """Coordinator-side state for one connected worker."""
+
+    __slots__ = ("conn", "index", "buffer", "assigned", "alive", "last_heard", "last_ping")
+
+    def __init__(self, conn: socket.socket, index: int, now: float) -> None:
+        self.conn = conn
+        self.index = index
+        self.buffer = bytearray()
+        #: tasks shipped to this worker, oldest first
+        self.assigned: deque[tuple[int, _RemotePending]] = deque()
+        self.alive = True
+        self.last_heard = now
+        self.last_ping = now
+
+
+class SocketTransport:
+    """Coordinator work-queue over TCP to ``repro worker`` agents.
+
+    Parameters
+    ----------
+    workers:
+        One ``"host:port"`` entry per expected agent.  Repeating an
+        address means that many agents are expected on it; the
+        coordinator binds each distinct address once.
+    connect_timeout:
+        Seconds to wait in :meth:`open` for the full membership to
+        handshake before raising :class:`~repro.errors.DistributedError`.
+    heartbeat:
+        Ping interval in seconds.  An *idle* worker silent for three
+        intervals is declared lost; a busy worker is governed by the
+        scheduler's per-item timeout instead (computation keeps a
+        single-threaded agent from answering pings, so silence while
+        busy is not evidence of death).
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[str],
+        connect_timeout: float = 30.0,
+        heartbeat: float = 5.0,
+    ) -> None:
+        if not workers:
+            raise ExperimentError("SocketTransport needs at least one worker address")
+        self._addresses = tuple(parse_address(address) for address in workers)
+        self._connect_timeout = connect_timeout
+        self._heartbeat = heartbeat
+        self._agents: list[_Agent] = []
+        self._backlog: deque[tuple[int, _RemotePending]] = deque()
+        # seq → (pending, item); items kept so a lost worker's tasks can
+        # be reshipped verbatim on retry
+        self._pending_items: dict[int, tuple[_RemotePending, Any]] = {}
+        self._selector: selectors.BaseSelector | None = None
+        self._next_seq = 0
+
+    @property
+    def slots(self) -> int:
+        return len(self._addresses)
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+    # ------------------------------------------------------------------
+    def open(self, fn: Callable[[Any], Any], head_size: int) -> None:
+        qualname = getattr(fn, "__qualname__", "")
+        if "<locals>" in qualname or getattr(fn, "__name__", "") == "<lambda>":
+            raise DistributedError(
+                "distributed dispatch target must be a module-level function, "
+                f"got {qualname or fn!r}"
+            )
+        try:
+            pickle.dumps(fn)
+        except Exception as exc:
+            raise DistributedError(f"dispatch target is not picklable: {exc}") from exc
+        listeners = self._bind_listeners()
+        try:
+            self._accept_all(listeners, fn)
+        finally:
+            for listener in listeners:
+                listener.close()
+        self._selector = selectors.DefaultSelector()
+        for agent in self._agents:
+            self._selector.register(agent.conn, selectors.EVENT_READ, agent)
+
+    def _bind_listeners(self) -> list[socket.socket]:
+        listeners: list[socket.socket] = []
+        try:
+            for host, port in dict.fromkeys(self._addresses):
+                listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                listener.bind((host, port))
+                listener.listen(len(self._addresses))
+                listener.settimeout(0.2)
+                listeners.append(listener)
+        except OSError as exc:
+            for listener in listeners:
+                listener.close()
+            raise DistributedError(f"cannot bind coordinator listener: {exc}") from exc
+        return listeners
+
+    def _accept_all(self, listeners: list[socket.socket], fn: Callable[[Any], Any]) -> None:
+        expected = len(self._addresses)
+        deadline = time.monotonic() + self._connect_timeout
+        while len(self._agents) < expected:
+            if time.monotonic() > deadline:
+                connected = len(self._agents)
+                for agent in self._agents:
+                    agent.conn.close()
+                self._agents.clear()
+                raise DistributedError(
+                    f"only {connected}/{expected} workers connected "
+                    f"within {self._connect_timeout:.0f}s"
+                )
+            for listener in listeners:
+                if len(self._agents) >= expected:
+                    break
+                try:
+                    conn, _peer = listener.accept()
+                except TimeoutError:
+                    continue
+                now = time.monotonic()
+                if self._handshake(conn, fn):
+                    self._agents.append(_Agent(conn, len(self._agents), now))
+
+    def _handshake(self, conn: socket.socket, fn: Callable[[Any], Any]) -> bool:
+        """Validate one dialing agent; True if it joined the membership."""
+        conn.settimeout(_HANDSHAKE_TIMEOUT)
+        try:
+            hello = recv_frame(conn)
+            if hello is None or hello.get("kind") != "hello":
+                send_frame(conn, {"kind": "reject", "reason": "expected hello frame"})
+                conn.close()
+                return False
+            reason = None
+            if hello.get("wire") != WIRE_VERSION:
+                reason = (
+                    f"wire version mismatch: coordinator {WIRE_VERSION}, "
+                    f"worker {hello.get('wire')}"
+                )
+            elif hello.get("fingerprint") != repo_fingerprint():
+                reason = "repo fingerprint mismatch: worker runs different code"
+            if reason is not None:
+                send_frame(conn, {"kind": "reject", "reason": reason})
+                conn.close()
+                return False
+            send_frame(conn, {"kind": "welcome", "fn": fn})
+        except (OSError, DistributedError):
+            conn.close()
+            return False
+        conn.settimeout(max(self._heartbeat * 4, 30.0))
+        return True
+
+    def close(self) -> None:
+        self._shutdown()
+
+    def abort(self) -> None:
+        self._shutdown()
+
+    def _shutdown(self) -> None:
+        for agent in self._agents:
+            if agent.alive:
+                try:
+                    send_frame(agent.conn, {"kind": "shutdown"})
+                except OSError:
+                    pass
+                agent.conn.close()
+                agent.alive = False
+        if self._selector is not None:
+            self._selector.close()
+            self._selector = None
+        self._agents.clear()
+        self._backlog.clear()
+
+    # ------------------------------------------------------------------
+    # submission / completion
+    # ------------------------------------------------------------------
+    def submit(self, item: Any) -> Pending:
+        pending = _RemotePending(self._next_seq)
+        self._next_seq += 1
+        if not any(agent.alive for agent in self._agents):
+            pending._set_error(
+                DistributedError("no live workers to execute submission")
+            )
+            return pending
+        self._backlog.append((pending.seq, item))
+        self._pending_items[pending.seq] = (pending, item)
+        self._pump()
+        return pending
+
+    def _pump(self) -> None:
+        """Assign backlog items to idle live workers, in seq order.
+
+        Lowest-index idle worker first — given the same event sequence
+        the assignment is reproducible, and the bit-identity contract
+        never depends on *where* an item ran anyway.
+        """
+        while self._backlog:
+            agent = next(
+                (a for a in self._agents if a.alive and not a.assigned), None
+            )
+            if agent is None:
+                return
+            seq, item = self._backlog[0]
+            pending, _ = self._pending_items[seq]
+            if pending.done():  # forfeited while queued
+                self._backlog.popleft()
+                continue
+            try:
+                send_frame(agent.conn, {"kind": "task", "seq": seq, "item": item})
+            except OSError as exc:
+                self._lose_agent(agent, f"send failed: {exc}")
+                continue
+            self._backlog.popleft()
+            agent.assigned.append((seq, pending))
+
+    def wait(self, pending: Sequence[Pending], timeout: float | None = None) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not any(p.done() for p in pending):
+            if self._selector is None or not any(a.alive for a in self._agents):
+                return
+            now = time.monotonic()
+            self._maintain_heartbeats(now)
+            budget = self._heartbeat / 2
+            if deadline is not None:
+                budget = min(budget, max(deadline - now, 0.0))
+            for key, _events in self._selector.select(budget):
+                agent = key.data
+                assert isinstance(agent, _Agent)
+                self._service(agent)
+            self._pump()
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+
+    def _service(self, agent: _Agent) -> None:
+        """Drain one readable connection and apply its frames."""
+        if not agent.alive:
+            return
+        try:
+            chunk = agent.conn.recv(_RECV_CHUNK)
+        except OSError as exc:
+            self._lose_agent(agent, f"recv failed: {exc}")
+            return
+        if not chunk:
+            self._lose_agent(agent, "connection closed")
+            return
+        agent.buffer.extend(chunk)
+        agent.last_heard = time.monotonic()
+        try:
+            frames = decode_frames(agent.buffer)
+        except DistributedError as exc:
+            self._lose_agent(agent, str(exc))
+            return
+        for frame in frames:
+            kind = frame.get("kind")
+            if kind == "pong":
+                continue
+            if kind in ("result", "error"):
+                self._finish(agent, frame)
+            else:
+                self._lose_agent(agent, f"unexpected frame kind {kind!r}")
+                return
+
+    def _finish(self, agent: _Agent, frame: dict[str, Any]) -> None:
+        seq = frame.get("seq")
+        entry = next((e for e in agent.assigned if e[0] == seq), None)
+        if entry is None:
+            return  # late result for a forfeited seq — already failed
+        agent.assigned.remove(entry)
+        pending = entry[1]
+        self._pending_items.pop(entry[0], None)
+        if frame["kind"] == "result":
+            pending._set_result(frame.get("value"))
+        else:
+            exc = frame.get("exc")
+            if not isinstance(exc, BaseException):
+                exc = DistributedError(f"worker {agent.index} sent malformed error")
+            pending._set_error(exc)
+
+    def forfeit(self, pending: Pending) -> None:
+        if pending.done():
+            return
+        assert isinstance(pending, _RemotePending)
+        holder = next(
+            (
+                agent
+                for agent in self._agents
+                if agent.alive
+                and any(seq == pending.seq for seq, _ in agent.assigned)
+            ),
+            None,
+        )
+        if holder is not None:
+            # no remote cancel exists: abandon the worker with the item
+            self._lose_agent(holder, "per-item timeout")
+        else:
+            self._pending_items.pop(pending.seq, None)
+            pending._set_error(
+                WorkerLostError("submission timed out before assignment")
+            )
+
+    def _maintain_heartbeats(self, now: float) -> None:
+        for agent in self._agents:
+            if not agent.alive:
+                continue
+            if not agent.assigned and now - agent.last_heard > self._heartbeat * 3:
+                self._lose_agent(agent, "heartbeat silence")
+                continue
+            if now - agent.last_ping >= self._heartbeat:
+                agent.last_ping = now
+                try:
+                    send_frame(agent.conn, {"kind": "ping"})
+                except OSError as exc:
+                    self._lose_agent(agent, f"ping failed: {exc}")
+
+    def _lose_agent(self, agent: _Agent, reason: str) -> None:
+        if not agent.alive:
+            return
+        agent.alive = False
+        if self._selector is not None:
+            try:
+                self._selector.unregister(agent.conn)
+            except (KeyError, ValueError):
+                pass
+        agent.conn.close()
+        message = f"worker {agent.index} lost ({reason})"
+        for seq, pending in agent.assigned:
+            self._pending_items.pop(seq, None)
+            pending._set_error(WorkerLostError(message))
+        agent.assigned.clear()
+        if not any(a.alive for a in self._agents):
+            failure = DistributedError(f"all workers lost; last: {message}")
+            for seq, _item in self._backlog:
+                entry = self._pending_items.pop(seq, None)
+                if entry is not None:
+                    entry[0]._set_error(failure)
+            self._backlog.clear()
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def run_worker(
+    address: str,
+    connect_timeout: float = 60.0,
+    chaos_mark: str | None = None,
+    chaos_hang_on_task: int = 0,
+) -> int:
+    """The ``repro worker`` agent: dial the coordinator and serve tasks.
+
+    Retries the TCP connect for up to ``connect_timeout`` seconds (the
+    coordinator may not have bound yet), performs the version +
+    fingerprint handshake, then loops: execute each ``task`` frame's
+    item with the welcomed function, answer ``ping`` with ``pong``, and
+    exit 0 on ``shutdown`` or coordinator EOF.  Item exceptions are
+    shipped back in ``error`` frames (wrapped in
+    :class:`~repro.errors.DistributedError` when unpicklable) — the
+    agent itself survives them.  Serves exactly one coordinator session.
+
+    ``chaos_mark``/``chaos_hang_on_task`` are test hooks: touch a marker
+    file on the first task received, and hang (sleep) on the Nth task —
+    they make the SIGKILL/timeout chaos tests deterministic.
+    """
+    host, port = parse_address(address)
+    conn = _dial(host, port, connect_timeout)
+    try:
+        send_frame(
+            conn,
+            {"kind": "hello", "wire": WIRE_VERSION, "fingerprint": repo_fingerprint()},
+        )
+        greeting = recv_frame(conn)
+        if greeting is None:
+            raise DistributedError("coordinator hung up during handshake")
+        if greeting.get("kind") == "reject":
+            raise DistributedError(f"coordinator rejected worker: {greeting.get('reason')}")
+        if greeting.get("kind") != "welcome":
+            raise DistributedError(
+                f"expected welcome frame, got {greeting.get('kind')!r}"
+            )
+        fn = greeting["fn"]
+        conn.settimeout(None)
+        return _serve(conn, fn, chaos_mark, chaos_hang_on_task)
+    finally:
+        conn.close()
+
+
+def _dial(host: str, port: int, connect_timeout: float) -> socket.socket:
+    deadline = time.monotonic() + connect_timeout
+    while True:
+        conn = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        conn.settimeout(_HANDSHAKE_TIMEOUT)
+        try:
+            conn.connect((host, port))
+            return conn
+        except OSError:
+            conn.close()
+            if time.monotonic() >= deadline:
+                raise DistributedError(
+                    f"could not reach coordinator at {host}:{port} "
+                    f"within {connect_timeout:.0f}s"
+                ) from None
+            time.sleep(0.2)
+
+
+def _serve(
+    conn: socket.socket,
+    fn: Callable[[Any], Any],
+    chaos_mark: str | None,
+    chaos_hang_on_task: int,
+) -> int:
+    tasks_seen = 0
+    while True:
+        frame = recv_frame(conn)
+        if frame is None or frame["kind"] == "shutdown":
+            return 0
+        kind = frame["kind"]
+        if kind == "ping":
+            send_frame(conn, {"kind": "pong"})
+            continue
+        if kind != "task":
+            raise DistributedError(f"unexpected frame kind {kind!r} from coordinator")
+        tasks_seen += 1
+        if chaos_mark is not None and tasks_seen == 1:
+            Path(chaos_mark).touch()
+        if chaos_hang_on_task and tasks_seen == chaos_hang_on_task:
+            time.sleep(3600.0)
+        seq = frame["seq"]
+        try:
+            value = fn(frame["item"])
+        except Exception as exc:
+            send_frame(conn, {"kind": "error", "seq": seq, "exc": _picklable(exc)})
+            continue
+        send_frame(conn, {"kind": "result", "seq": seq, "value": value})
+
+
+def _picklable(exc: BaseException) -> BaseException:
+    """The exception itself if it survives a pickle round-trip, else a wrapper."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return DistributedError(f"worker-side failure (unpicklable): {exc!r}")

@@ -1,8 +1,9 @@
-"""Executor protocol: run independent experiment cells serially or in a pool.
+"""Executor protocol: run independent experiment cells serially, in a
+process pool, or across ``repro worker`` agents on other hosts.
 
 The harness's cells are embarrassingly parallel — each is a pure function
 of its materialized config — so the execution strategy is a pluggable
-value.  Two implementations satisfy the :class:`Executor` protocol:
+value.  Three implementations satisfy the :class:`Executor` protocol:
 
 * :class:`SerialExecutor` — an in-process loop; the reference semantics.
 * :class:`ProcessPoolExecutor` — ``jobs`` worker processes.  Work-items
@@ -11,41 +12,50 @@ value.  Two implementations satisfy the :class:`Executor` protocol:
   builds a dataset, its read-only snapshot, and its cell's exact
   properties at most once, on first touch, and every later item it
   executes for that dataset reuses them.
+* :class:`SocketExecutor` — one slot per connected ``repro worker``
+  agent (:mod:`repro.api.distributed`); the same per-process caches
+  rebuild on each remote host from the dataset names in the items.
 
-Both stream results back **in deterministic cell order** (submission
-order), whatever order workers finish in — so CSV checkpointing and
-aggregation see the same sequence either way, and because all seeds are
-spawned before execution (:mod:`repro.api.context`), serial and parallel
-runs are bit-identical on fixed seeds.
+All of them stream results back **in deterministic cell order**
+(submission order), whatever order workers finish in — so CSV
+checkpointing and aggregation see the same sequence either way, and
+because all seeds are spawned before execution
+(:mod:`repro.api.context`), serial, pooled, and distributed runs are
+bit-identical on fixed seeds.
+
+Since the scheduler/transport split, the ordering + pacing +
+cancel-on-failure machinery lives in :class:`repro.api.scheduler.Scheduler`;
+the executors here are thin compositions of that core with a transport.
 """
 
 from __future__ import annotations
 
 import concurrent.futures as _futures
-from collections import deque
-from collections.abc import Callable, Iterable, Iterator
-from itertools import islice
-from typing import Any, Protocol, TypeVar, runtime_checkable
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import Any, Protocol, TypeVar, cast, runtime_checkable
 
-from repro.errors import ExperimentError
+from repro.api.distributed import SocketTransport
+from repro.api.scheduler import (
+    MAX_UNYIELDED_FACTOR,
+    PREFETCH_FACTOR,
+    Pending,
+    Scheduler,
+)
+from repro.errors import DistributedError, ExperimentError
+
+__all__ = [
+    "PREFETCH_FACTOR",
+    "MAX_UNYIELDED_FACTOR",
+    "Executor",
+    "ExecutionSpec",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "SocketExecutor",
+    "executor_for",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
-
-# Cap on *incomplete* in-flight submissions, as a multiple of the worker
-# count: enough queued work that no worker idles between items, without
-# pickling an entire flattened grid up front the way a bare pool.map
-# would — input is only pulled as earlier items complete.
-PREFETCH_FACTOR = 2
-
-# Cap on *total* unyielded submissions (running + queued + completed
-# results waiting their in-order turn), as a multiple of the worker
-# count.  Completed results release their PREFETCH_FACTOR slot so a slow
-# queue head cannot starve the workers behind it, but only up to this
-# bound — past it, refilling pauses until the head yields, keeping the
-# buffered-result memory and total pickled-ahead work O(jobs) even when
-# item 0 of a huge flattened grid is the slowest.
-MAX_UNYIELDED_FACTOR = 8
 
 
 @runtime_checkable
@@ -57,6 +67,21 @@ class Executor(Protocol):
         ...
 
 
+class ExecutionSpec(Protocol):
+    """What :func:`executor_for` needs from a context: the parallelism ask.
+
+    A narrow read-only view of :class:`~repro.api.context.RunContext`
+    (which satisfies it structurally), so the executor layer never grows
+    an accidental dependency on sweep/seed/fault configuration.
+    """
+
+    @property
+    def jobs(self) -> int: ...
+
+    @property
+    def workers(self) -> tuple[str, ...] | None: ...
+
+
 class SerialExecutor:
     """In-process reference executor: a plain streaming loop."""
 
@@ -65,6 +90,66 @@ class SerialExecutor:
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[R]:
         for item in items:
             yield fn(item)
+
+
+class LocalPoolTransport:
+    """Transport over a ``concurrent.futures`` process pool on this host.
+
+    The pool is created at :meth:`open` (sized to the initial window) and
+    its futures are the scheduler's pendings, so behavior — input-pull
+    pacing, in-order yield, cancel-on-failure — is byte-identical to the
+    pre-refactor fused executor.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+    ) -> None:
+        self.slots = jobs
+        self._initializer = initializer
+        self._initargs = initargs
+        self._pool: Any = None
+        self._fn: Callable[[Any], Any] | None = None
+
+    def open(self, fn: Callable[[Any], Any], head_size: int) -> None:
+        # looked up through the module at call time so tests can swap the
+        # pool class for an instant-completion fake
+        self._pool = _futures.ProcessPoolExecutor(
+            max_workers=min(self.slots, head_size),
+            initializer=self._initializer,
+            initargs=self._initargs,
+        )
+        self._fn = fn
+
+    def submit(self, item: Any) -> Pending:
+        assert self._pool is not None and self._fn is not None, "submit before open"
+        return cast(Pending, self._pool.submit(self._fn, item))
+
+    def wait(self, pending: Sequence[Pending], timeout: float | None = None) -> None:
+        _futures.wait(
+            cast("Sequence[_futures.Future[Any]]", pending),
+            timeout=timeout,
+            return_when=_futures.FIRST_COMPLETED,
+        )
+
+    def forfeit(self, pending: Pending) -> None:
+        raise DistributedError(
+            "process-pool transport cannot forfeit a running submission"
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def abort(self) -> None:
+        if self._pool is not None:
+            # cancel queued work immediately, then join what is running
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
 
 class ProcessPoolExecutor:
@@ -115,59 +200,82 @@ class ProcessPoolExecutor:
         the failure surfaces the in-flight not-yet-started items are
         cancelled — the rest of the input is never pulled.  Abandoning
         the iterator cancels the same way.
+
+        All of that is the :class:`~repro.api.scheduler.Scheduler`
+        contract; this executor just binds it to a process pool.
         """
-        it = iter(items)
-        window = self.jobs * PREFETCH_FACTOR
-        max_unyielded = self.jobs * MAX_UNYIELDED_FACTOR
-        head = list(islice(it, window))
-        if not head:
-            return
-        with _futures.ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(head)),
-            initializer=self._initializer,
-            initargs=self._initargs,
-        ) as pool:
-            pending = deque(pool.submit(fn, item) for item in head)
-            try:
-                while pending:
-                    incomplete = []
-                    failed = False
-                    for future in pending:
-                        if not future.done():
-                            incomplete.append(future)
-                        elif future.exception() is not None:
-                            failed = True
-                    refill = 0 if failed else min(
-                        window - len(incomplete),
-                        max_unyielded - len(pending),
-                    )
-                    for item in islice(it, max(refill, 0)):
-                        future = pool.submit(fn, item)
-                        pending.append(future)
-                        incomplete.append(future)
-                    if not pending[0].done():
-                        # head still running: park until *any* submission
-                        # completes, then loop to refill its slot
-                        _futures.wait(
-                            incomplete, return_when=_futures.FIRST_COMPLETED
-                        )
-                        continue
-                    yield pending.popleft().result()
-            except BaseException:
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise
+        transport = LocalPoolTransport(self.jobs, self._initializer, self._initargs)
+        return Scheduler(transport).map(fn, items)
+
+
+class SocketExecutor:
+    """Executor over remote ``repro worker`` agents (one slot each).
+
+    Parameters
+    ----------
+    workers:
+        ``"host:port"`` coordinator addresses, one per expected agent
+        (see :class:`~repro.api.distributed.SocketTransport`).
+    timeout:
+        Per-item deadline in seconds; an overdue item's worker is
+        dropped and the item deterministically reassigned.  ``None``
+        disables deadlines (worker *death* is still detected and
+        reassigned either way).
+    max_attempts:
+        Tries per item before a lost worker becomes a run failure.
+        Defaults to 3 so a single mid-sweep worker death never fails a
+        sweep that has a surviving agent.
+
+    After (or during) a :meth:`map`, :attr:`stats` exposes the
+    scheduler's ``{"retries", "timeouts"}`` accounting for that map.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[str],
+        timeout: float | None = None,
+        max_attempts: int = 3,
+        connect_timeout: float = 30.0,
+        heartbeat: float = 5.0,
+    ) -> None:
+        self.workers = tuple(workers)
+        if not self.workers:
+            raise ExperimentError("SocketExecutor needs at least one worker address")
+        self.jobs = len(self.workers)
+        self._timeout = timeout
+        self._max_attempts = max_attempts
+        self._connect_timeout = connect_timeout
+        self._heartbeat = heartbeat
+        self.stats: dict[str, int] = {"retries": 0, "timeouts": 0}
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[R]:
+        transport = SocketTransport(
+            self.workers,
+            connect_timeout=self._connect_timeout,
+            heartbeat=self._heartbeat,
+        )
+        scheduler = Scheduler(
+            transport, timeout=self._timeout, max_attempts=self._max_attempts
+        )
+        self.stats = scheduler.stats
+        return scheduler.map(fn, items)
 
 
 def executor_for(
-    context: Any,
+    context: ExecutionSpec,
     initializer: Callable[..., None] | None = None,
     initargs: tuple[Any, ...] = (),
 ) -> Executor:
     """The executor a :class:`~repro.api.context.RunContext` asks for.
 
-    ``initializer``/``initargs`` apply only when a pool is created; the
-    serial executor runs in process and needs no worker setup.
+    A ``workers`` address list selects the distributed tier; otherwise
+    ``jobs`` selects serial vs process pool.  ``initializer``/``initargs``
+    apply only when a local pool is created — remote agents are separate
+    interpreters on (possibly) other hosts, so per-host worker setup like
+    shared-memory attachment cannot apply to them.
     """
+    if context.workers:
+        return SocketExecutor(context.workers)
     if context.jobs <= 1:
         return SerialExecutor()
     return ProcessPoolExecutor(context.jobs, initializer, initargs)

@@ -25,7 +25,6 @@ on who executed which item.
 from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
-from dataclasses import replace
 from typing import TYPE_CHECKING, Any, TypeVar
 
 from repro.api.executors import Executor, executor_for
@@ -69,11 +68,15 @@ def map_cells(
     (:func:`repro.api.workers.publish_cells`); the pool initializer
     attaches workers zero-copy.  The publication lives until the result
     iterator is exhausted (or abandoned) and falls away silently when
-    shared memory is unavailable.
+    shared memory is unavailable.  Shared memory is per-host, so a
+    distributed run (``context.workers``) never publishes: remote agents
+    rebuild through their own per-process name-keyed caches, which is
+    bit-identical by contract.
     """
-    pooled = context.jobs > 1
+    pooled = context.parallelism > 1
+    distributed = context.workers is not None
     publication = None
-    if pooled and context.shared_memory:
+    if pooled and not distributed and context.shared_memory:
         from repro.api.workers import pool_worker_init, publish_cells
 
         publication = publish_cells([context.configure(c) for c in cells])
@@ -100,7 +103,7 @@ def _schedule_cells(
     if pooled:
         # workers run in their own processes, so each item also reports
         # its truth-memo counter delta for the parent's merged stats view
-        items = [(config, replace(context, jobs=1)) for config in cells]
+        items = [(config, context.for_worker()) for config in cells]
         return _merge_worker_stats(executor.map(execute_cell_with_stats, items))
     return executor.map(execute_cell, [(config, context) for config in cells])
 

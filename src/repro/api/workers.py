@@ -24,6 +24,12 @@ Publication is strictly an optimization: if shared memory is unavailable
 shipping nothing and the workers rebuild per process exactly as before —
 results are bit-identical either way, which is the contract the parallel
 executors are built on.
+
+Publication is also strictly *per-host*: POSIX shared memory cannot
+cross machines, so distributed runs (``RunContext.workers``) skip it
+entirely and remote ``repro worker`` agents rebuild through the same
+per-process caches — the rebuild path above, which is why the contract
+holds unchanged over sockets.
 """
 
 from __future__ import annotations

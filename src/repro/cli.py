@@ -16,6 +16,7 @@ Commands map one-to-one onto the paper's tables and figures::
     repro snapshot <dataset> --out PATH [--scale S] [--check]
     repro serve   [--host H] [--port P] [--jobs N] [--share d[:scale]]
     repro request <op> [--host H] [--port P] [--params JSON] [--timeout S]
+    repro worker  --connect HOST:PORT [--connect-timeout S]
 
 ``serve`` runs the long-lived restoration service (asyncio front end
 over a worker pool, content-addressed response cache, request
@@ -30,7 +31,10 @@ experiment command threads that single context instead of re-plumbing
 per-subcommand ``backend=`` / ``seed=`` keywords.  ``--jobs 2`` runs a
 table's datasets (or a sweep's cells, or a single cell's runs when the
 granularity resolves to ``run``) in a process pool with bit-identical
-results to the serial run.
+results to the serial run.  ``--workers h1:p,h2:p`` shards the same
+work across ``repro worker`` agents — start one per listed address with
+``repro worker --connect HOST:PORT`` (any host that can reach the
+coordinator and runs the same repro source tree) — still bit-identical.
 
 Paper-scale settings (runs=10, rc=500, scale=1.0) reproduce the published
 protocol; the defaults here are the faster bench-scale settings recorded in
@@ -69,7 +73,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     handler = _HANDLERS[args.command]
     result = handler(args)
-    if isinstance(result, int):  # lint returns a process exit code directly
+    if isinstance(result, int):  # lint/worker return a process exit code directly
         return result
     print(result)
     return 0
@@ -128,6 +132,15 @@ def _build_parser() -> argparse.ArgumentParser:
                 "auto (run-level when there are fewer cells than jobs, "
                 "e.g. table5's single cell); any choice is bit-identical",
             )
+            p.add_argument(
+                "--workers",
+                default=None,
+                metavar="HOST:PORT,...",
+                help="shard execution across remote 'repro worker' agents "
+                "instead of a local pool: one address per expected agent "
+                "(repeat an address for several agents on it); results "
+                "are bit-identical to --jobs 1 on a fixed seed",
+            )
         if execution and exact:
             p.add_argument(
                 "--exact-paths",
@@ -174,6 +187,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--csv", default=None, help="checkpoint CSV path (rewritten per cell)"
+    )
+    p_sweep.add_argument(
+        "--no-timings",
+        action="store_true",
+        help="drop the wall-clock columns from the stdout CSV, leaving "
+        "only the deterministic ones — two runs of the same grid and "
+        "seed then print byte-identical text whatever executed them",
     )
 
     p_fig4 = sub.add_parser("fig4", help="Figure 4: SVG graph portraits")
@@ -277,6 +297,29 @@ def _build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(p_lint)
 
+    p_work = sub.add_parser(
+        "worker",
+        help="run one distributed-execution agent (see repro.api.distributed)",
+    )
+    p_work.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address — the matching entry of the sweep's "
+        "--workers list",
+    )
+    p_work.add_argument(
+        "--connect-timeout", type=float, default=60.0,
+        help="seconds to keep retrying the TCP connect (the coordinator "
+        "may start after the worker)",
+    )
+    p_work.add_argument(
+        "--chaos-mark", default=None, metavar="PATH",
+        help="test hook: touch PATH when the first task arrives",
+    )
+    p_work.add_argument(
+        "--chaos-hang-on-task", type=int, default=0, metavar="N",
+        help="test hook: hang on the Nth task received (0 disables)",
+    )
+
     p_req = sub.add_parser(
         "request", help="send one request to a running restoration service"
     )
@@ -336,6 +379,12 @@ def _fault_policy(args):
 
 def _context(args) -> RunContext:
     """The single execution context every experiment command runs under."""
+    workers_text = getattr(args, "workers", None)
+    workers = (
+        tuple(address.strip() for address in workers_text.split(","))
+        if workers_text
+        else None
+    )
     return RunContext(
         backend=getattr(args, "backend", "auto"),
         seed=getattr(args, "seed", 1),
@@ -344,6 +393,7 @@ def _context(args) -> RunContext:
         granularity=getattr(args, "granularity", "auto"),
         shared_memory=not getattr(args, "no_shared_memory", False),
         fault_policy=_fault_policy(args),
+        workers=workers,
     )
 
 
@@ -400,7 +450,7 @@ def _cmd_sweep(args) -> str:
     )
     results = run_sweep(grid, csv_path=args.csv, context=_context(args))
     # stdout stays pure CSV (pipeable) whether or not --csv also wrote a file
-    return sweep_to_csv(results).rstrip("\n")
+    return sweep_to_csv(results, include_timings=not args.no_timings).rstrip("\n")
 
 
 def _cmd_fig4(args) -> str:
@@ -591,6 +641,22 @@ def _cmd_serve(args) -> str:
     return ""
 
 
+def _cmd_worker(args) -> int:
+    from repro.api.distributed import run_worker
+    from repro.errors import DistributedError
+
+    try:
+        return run_worker(
+            args.connect,
+            connect_timeout=args.connect_timeout,
+            chaos_mark=args.chaos_mark,
+            chaos_hang_on_task=args.chaos_hang_on_task,
+        )
+    except DistributedError as exc:
+        print(f"worker error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_lint(args) -> int:
     from repro.lint.cli import run_lint_command
 
@@ -646,6 +712,7 @@ _HANDLERS = {
     "snapshot": _cmd_snapshot,
     "lint": _cmd_lint,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
     "request": _cmd_request,
 }
 

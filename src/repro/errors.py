@@ -75,6 +75,21 @@ class StoreError(EngineError):
     or incompatible snapshot buffers and shared-memory lifecycle misuse."""
 
 
+class DistributedError(ReproError):
+    """Raised by the distributed execution tier (:mod:`repro.api.distributed`)
+    for coordinator/worker failures that are not attributable to a single
+    work item: handshake rejection (wire-version or repo-fingerprint
+    mismatch), connection-deadline expiry, or every worker being lost."""
+
+
+class WorkerLostError(DistributedError):
+    """Raised for a work item whose assigned worker died (connection
+    dropped, heartbeat silence) or blew its per-item deadline.  The
+    scheduler treats this — and only this — as retryable: the item is
+    deterministically reassigned in place, so delivery order and the
+    byte-identity contract survive worker loss."""
+
+
 class ServiceError(ReproError):
     """Raised by the serving layer (:mod:`repro.service`) for request
     failures that are not covered by a more specific library error."""

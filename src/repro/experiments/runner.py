@@ -307,9 +307,10 @@ def run_experiment(
     per-run seeds are always spawned from ``config.seed``, so the result
     is deterministic for a fixed config regardless of who executes it.
 
-    With ``context.jobs > 1`` (and ``granularity`` resolving to ``"run"``
-    for this single cell — the ``"auto"`` default does) the ``runs``
-    rounds fan out over the context's process pool as independent
+    With parallel capacity (``context.jobs > 1`` or a
+    ``context.workers`` agent list, and ``granularity`` resolving to
+    ``"run"`` for this single cell — the ``"auto"`` default does) the
+    ``runs`` rounds fan out over the context's executor as independent
     :func:`execute_run` work-items; each worker evaluates the cell's
     truth PropertySet once (per-process memo) and the records are folded
     in pre-spawned seed order, so the aggregates are bit-identical to the
@@ -326,7 +327,7 @@ def run_experiment(
     if (
         original is None
         and context is not None
-        and context.jobs > 1
+        and context.parallelism > 1
         and context.resolve_granularity(1) == "run"
     ):
         # one scheduler: the same run-level queue a sweep would build

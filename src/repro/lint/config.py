@@ -21,7 +21,11 @@ DEFAULT_TARGETS: tuple[str, ...] = ("src", "tests", "benchmarks", "scripts")
 #: Benchmarks and tests measure wall-clock by design; the library files
 #: listed here are the designated timing surfaces (``Stopwatch``, the
 #: service latency metrics and progress frames, per-method generation
-#: timings).  Everything else must stay a pure function of its inputs.
+#: timings) plus the execution core's liveness machinery (scheduler
+#: deadlines, coordinator heartbeats and connect timeouts — clocks there
+#: decide *where/when* items run, never what they compute, so the
+#: results stay pure functions of their inputs).  Everything else must
+#: stay a pure function of its inputs.
 #: Patterns are :func:`fnmatch.fnmatch` globs over POSIX relpaths.
 DEFAULT_WALLCLOCK_ALLOWLIST: tuple[str, ...] = (
     "benchmarks/*",
@@ -30,6 +34,8 @@ DEFAULT_WALLCLOCK_ALLOWLIST: tuple[str, ...] = (
     "src/repro/experiments/methods.py",
     "src/repro/service/metrics.py",
     "src/repro/service/server.py",
+    "src/repro/api/scheduler.py",
+    "src/repro/api/distributed.py",
 )
 
 #: Layers whose iteration order feeds deterministic outputs (``REP401``):

@@ -333,11 +333,22 @@ class WallClock(FileRule):
 
 
 def _pool_callable_args(node: ast.Call) -> Iterator[ast.expr]:
-    """Callable operands a pool ships to workers: the function argument
-    of ``.map(fn, ...)`` / ``.submit(fn, ...)`` and any ``initializer=``."""
+    """Callable operands shipped to out-of-process workers: the function
+    argument of ``.map(fn, ...)`` / ``.submit(fn, ...)``, any
+    ``initializer=``, and the transport session-bind ``.open(fn, n)``
+    (the distributed tier's dispatch target, pickled to every remote
+    ``repro worker`` agent).  ``.open`` counts only with two or more
+    positional arguments, which is the transport signature — file-like
+    ``path.open("r")`` calls never carry a callable there."""
     if isinstance(node.func, ast.Attribute) and node.func.attr in ("map", "submit"):
         if node.args:
             yield node.args[0]
+    if (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == "open"
+        and len(node.args) >= 2
+    ):
+        yield node.args[0]
     for kw in node.keywords:
         if kw.arg == "initializer":
             yield kw.value
@@ -580,7 +591,7 @@ _register(GlobalRngCall("REP102", "global-rng-call", "no draws from the process-
 _register(GlobalSeeding("REP103", "global-seeding", "no random.seed() / np.random.seed() / setstate global reseeding"))
 _register(FloatDerivedSeed("REP104", "float-derived-seed", "no child RNGs seeded from float draws like rng.random()"))
 _register(WallClock("REP105", "wall-clock", "no clock reads outside the timing/metrics allowlist"))
-_register(PoolCallableNotModuleLevel("REP201", "pool-callable-not-module-level", "pool map/submit/initializer callables must be picklable module-level functions"))
-_register(PooledEntryReadsMutatedGlobal("REP202", "pooled-entry-reads-mutated-global", "pooled entry points must not read module globals mutated at runtime"))
+_register(PoolCallableNotModuleLevel("REP201", "pool-callable-not-module-level", "pool map/submit/initializer and transport open(fn, n) callables must be picklable module-level functions"))
+_register(PooledEntryReadsMutatedGlobal("REP202", "pooled-entry-reads-mutated-global", "pooled/distributed entry points must not read module globals mutated at runtime"))
 _register(FrozenMutationOutsidePostInit("REP303", "frozen-mutation", "object.__setattr__ only inside __init__/__post_init__/__setstate__"))
 _register(UnsortedSetIteration("REP401", "unsorted-set-iteration", "set iteration in deterministic layers must pass through sorted()"))

@@ -63,6 +63,8 @@ ERROR_CODES: dict[type[ReproError], str] = {
     errors.ConstructionError: "construction",
     errors.DatasetError: "dataset",
     errors.ExperimentError: "experiment",
+    errors.DistributedError: "distributed",
+    errors.WorkerLostError: "worker_lost",
     errors.EngineError: "engine",
     errors.StoreError: "store",
     errors.ServiceError: "service",

@@ -380,6 +380,106 @@ class TestPoolSafety:
         )
         assert findings == []
 
+    # -- distributed entry points: the transport session-bind open(fn, n)
+    # ships fn to every remote worker agent, so it falls under the same
+    # four-way REP201/202 coverage as pool map/submit/initializer
+
+    def test_rep201_transport_open_lambda(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """\
+            def run(transport, head):
+                transport.open(lambda x: x + 1, len(head))
+            """,
+        )
+        assert rules_of(findings) == ["REP201"]
+
+    def test_rep201_transport_open_nested_function(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """\
+            def run(transport, head):
+                def dispatch(x):
+                    return x + 1
+                transport.open(dispatch, len(head))
+            """,
+        )
+        assert rules_of(findings) == ["REP201"]
+
+    def test_rep201_transport_open_module_level_fn_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """\
+            def dispatch(x):
+                return x + 1
+
+            def run(transport, head):
+                transport.open(dispatch, len(head))
+            """,
+        )
+        assert findings == []
+
+    def test_rep201_transport_open_suppressed(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """\
+            def run(transport, head):
+                transport.open(lambda x: x, len(head))  # reprolint: disable=REP201 fake transport
+            """,
+        )
+        assert findings == []
+
+    def test_rep201_file_open_is_not_a_dispatch_site(self, tmp_path):
+        # pathlib-style .open carries a mode string, never a callable;
+        # only the two-positional-arg transport signature is recognized
+        findings = lint_snippet(
+            tmp_path,
+            """\
+            def read(path):
+                with path.open("r") as f:
+                    return f.read()
+            """,
+        )
+        assert findings == []
+
+    def test_rep202_transport_open_entry_reads_mutated_global(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """\
+            _STATE = None
+
+            def configure(value):
+                global _STATE
+                _STATE = value
+
+            def dispatch(x):
+                return (_STATE, x)
+
+            def run(transport, head):
+                transport.open(dispatch, len(head))
+            """,
+        )
+        assert rules_of(findings) == ["REP202"]
+        assert "_STATE" in findings[0].message
+
+    def test_rep202_transport_open_own_global_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """\
+            _MEMO = None
+
+            def dispatch(x):
+                global _MEMO
+                if _MEMO is None:
+                    _MEMO = {}
+                return _MEMO.setdefault(x, x + 1)
+
+            def run(transport, head):
+                transport.open(dispatch, len(head))
+            """,
+        )
+        assert findings == []
+
 
 # ----------------------------------------------------------------------
 # family 3: contract wiring
